@@ -1,0 +1,193 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A. seq-ack window depth      — in-flight budget vs throughput/latency
+//   B. fragment size             — 16K/64K/256K/off under a small incast
+//   C. small-message threshold   — eager/rendezvous crossover per size
+//   D. polling mode              — busy vs hybrid vs event: latency vs CPU
+#include <memory>
+
+#include "bench/bench_util.hpp"
+
+using namespace xrdma;
+using namespace xrdma::bench;
+
+namespace {
+
+// --- A: window depth -------------------------------------------------------
+void ablate_window_depth() {
+  print_header("Ablation A — seq-ack window depth (4 KB one-way stream)");
+  print_row({"depth", "goodput_gbps", "rtt_us"});
+  for (const std::uint32_t depth : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    core::Config cfg;
+    cfg.window_depth = depth;
+    cfg.memcache_real_memory = false;
+    // Throughput: saturating one-way stream of 4 KB messages.
+    XrPair pair(cfg);
+    pair.server_ch->set_on_msg([](core::Channel&, core::Msg&&) {});
+    const int total = 3000;
+    int sent = 0;
+    sim::PeriodicTimer feeder(pair.cluster.engine(), micros(10), [&] {
+      while (sent < total &&
+             pair.client_ch->queued_msgs() + pair.client_ch->inflight_msgs() <
+                 2 * depth) {
+        pair.client_ch->send_msg(Buffer::synthetic(4096));
+        ++sent;
+      }
+    });
+    feeder.start();
+    const Nanos t0 = pair.cluster.engine().now();
+    pair.run_until(
+        [&] {
+          return sent >= total && pair.client_ch->inflight_msgs() == 0 &&
+                 pair.client_ch->queued_msgs() == 0;
+        },
+        seconds(3));
+    feeder.stop();
+    const double gbps = static_cast<double>(total) * 4096 * 8 /
+                        static_cast<double>(pair.cluster.engine().now() - t0);
+    const Nanos rtt = xrdma_echo_rtt(cfg, 4096, 20);
+    print_row({std::to_string(depth), fmt("%.2f", gbps),
+               fmt("%.2f", to_micros(rtt))});
+  }
+  std::printf("-> depth ~16+ saturates the link; tiny windows serialize on "
+              "the ack round trip. The ship default (64) buys headroom "
+              "without RNR risk.\n");
+}
+
+// --- B: fragment size -------------------------------------------------------
+void ablate_frag_size() {
+  print_header("Ablation B — rendezvous fragment size (8->1 incast, 256 KB)");
+  print_row({"frag", "goodput_gbps", "cnps", "max_queue_kb"});
+  for (const std::uint32_t frag :
+       {16u * 1024, 64u * 1024, 256u * 1024, 0u /* = off */}) {
+    testbed::ClusterConfig ccfg;
+    ccfg.fabric = net::ClosConfig::rack(9);
+    testbed::Cluster cluster(ccfg);
+    core::Config cfg;
+    cfg.memcache_real_memory = false;
+    cfg.flowctl = frag != 0;
+    if (frag != 0) cfg.frag_size = frag;
+    cfg.max_outstanding_wrs = 4;
+
+    core::Context rx(cluster.rnic(0), cluster.cm(), cfg);
+    rx.config().poll_mode = core::PollMode::busy;
+    std::uint64_t delivered = 0;
+    rx.listen(7000, [&](core::Channel& ch) {
+      ch.set_on_msg(
+          [&](core::Channel&, core::Msg&& m) { delivered += m.payload.size(); });
+    });
+    rx.start_polling_loop();
+    std::vector<std::unique_ptr<core::Context>> txs;
+    std::vector<core::Channel*> chans;
+    for (int i = 1; i <= 8; ++i) {
+      txs.push_back(std::make_unique<core::Context>(
+          cluster.rnic(static_cast<net::NodeId>(i)), cluster.cm(), cfg));
+      txs.back()->config().poll_mode = core::PollMode::busy;
+      txs.back()->start_polling_loop();
+      txs.back()->connect(0, 7000, [&](Result<core::Channel*> r) {
+        if (r.ok()) chans.push_back(r.value());
+      });
+    }
+    cluster.engine().run_for(millis(40));
+    sim::PeriodicTimer feeder(cluster.engine(), micros(300), [&] {
+      for (auto* ch : chans) {
+        while (ch->usable() && ch->inflight_msgs() + ch->queued_msgs() < 2) {
+          ch->send_msg(Buffer::synthetic(256 * 1024));
+        }
+      }
+    });
+    feeder.start();
+    const Nanos t0 = cluster.engine().now();
+    const std::uint64_t d0 = delivered;
+    cluster.engine().run_for(millis(120));
+    feeder.stop();
+    const double gbps = static_cast<double>(delivered - d0) * 8.0 /
+                        static_cast<double>(cluster.engine().now() - t0);
+    print_row({frag == 0 ? "off" : std::to_string(frag / 1024) + "K",
+               fmt("%.1f", gbps),
+               std::to_string(cluster.rnic(0).stats().cnps_sent),
+               fmt("%.0f",
+                   static_cast<double>(
+                       cluster.fabric().host_ingress_port_stats(0).max_queue_bytes) /
+                       1024)});
+  }
+  std::printf("-> moderate fragments (64K) keep the bottleneck queue near "
+              "the ECN knee: the paper's choice. Tiny fragments add "
+              "per-WR overhead; none lets bursts overrun the switch.\n");
+}
+
+// --- C: small-message threshold --------------------------------------------
+void ablate_small_threshold() {
+  print_header("Ablation C — eager/rendezvous threshold (RTT us per size)");
+  const std::vector<std::uint32_t> sizes = {512, 4096, 16384, 65536};
+  print_row({"threshold", "512B", "4KB", "16KB", "64KB"});
+  for (const std::uint32_t thr : {0u, 512u, 4096u, 16384u, 65536u}) {
+    core::Config cfg;
+    cfg.small_msg_size = thr;
+    std::vector<std::string> row = {thr == 0 ? "0 (all rv)"
+                                             : std::to_string(thr)};
+    for (const std::uint32_t size : sizes) {
+      row.push_back(fmt("%.1f", to_micros(xrdma_echo_rtt(cfg, size, 15))));
+    }
+    print_row(row);
+  }
+  std::printf("-> eager always wins latency; rendezvous trades a fixed pull "
+              "round for bounded receiver memory. 4 KB (the ship default) "
+              "keeps the latency-critical small messages eager while bulk "
+              "pays the amortized pull.\n");
+}
+
+// --- D: polling mode ----------------------------------------------------------
+void ablate_polling() {
+  print_header("Ablation D — polling mode (sparse RPCs: 1 per 100 us)");
+  print_row({"mode", "rtt_us", "polls", "empty_poll_%"});
+  for (const auto mode : {core::PollMode::busy, core::PollMode::hybrid,
+                          core::PollMode::event}) {
+    core::Config cfg;
+    cfg.poll_mode = mode;
+    cfg.hybrid_idle_spins = 50;
+    XrPair pair(cfg);
+    // XrPair forces busy for determinism; restore the requested mode.
+    pair.server.config().poll_mode = mode;
+    pair.client.config().poll_mode = mode;
+    tools::perf_echo_responder(*pair.server_ch);
+
+    Histogram lat;
+    int done = 0;
+    const int total = 200;
+    sim::PeriodicTimer driver(pair.cluster.engine(), micros(100), [&] {
+      if (done >= total) return;
+      const Nanos t0 = pair.cluster.engine().now();
+      pair.client_ch->call(Buffer::make(64), [&, t0](Result<core::Msg> r) {
+        if (r.ok()) {
+          lat.record(pair.cluster.engine().now() - t0);
+          ++done;
+        }
+      });
+    });
+    driver.start();
+    pair.run_until([&] { return done >= total; }, seconds(2));
+    driver.stop();
+    const auto& st = pair.client.stats();
+    const char* name = mode == core::PollMode::busy     ? "busy"
+                       : mode == core::PollMode::hybrid ? "hybrid"
+                                                        : "event";
+    print_row({name, fmt("%.2f", lat.mean() / 1000.0),
+               std::to_string(st.polls),
+               fmt("%.1f", 100.0 * static_cast<double>(st.empty_polls) /
+                               static_cast<double>(st.polls))});
+  }
+  std::printf("-> busy polling minimizes latency but burns empty polls "
+              "(CPU); event mode saves CPU at a wakeup penalty per message; "
+              "hybrid (the ship default) matches busy latency under load "
+              "and parks when idle.\n");
+}
+
+}  // namespace
+
+int main() {
+  ablate_window_depth();
+  ablate_frag_size();
+  ablate_small_threshold();
+  ablate_polling();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// §VII-F experience 3: "Avoid to use continuous physical memory".
+//
+// Three QP/payload memory allocation modes (Table III's ibqp_alloc_type):
+//   contiguous — one giant registration (cache-friendly but hogs memory
+//                and cannot give any of it back: OOM risk on busy hosts);
+//   non-contig — 4 MB registrations on demand (what X-RDMA ships);
+//   hugepage   — 2 MB-granular registrations.
+// A churn workload with a load swell measures occupancy efficiency,
+// reclamation, and allocation failure behaviour under a fixed memory cap.
+// The paper: non-contiguous has comparable performance and fewer
+// fragmentation problems.
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/memcache.hpp"
+
+using namespace xrdma;
+using namespace xrdma::bench;
+
+namespace {
+
+struct ModeResult {
+  std::string name;
+  double peak_occupied_mb = 0;
+  double final_occupied_mb = 0;
+  double peak_in_use_mb = 0;
+  std::uint64_t failed_allocs = 0;
+  std::uint64_t grow_events = 0;
+  std::uint64_t shrink_events = 0;
+};
+
+ModeResult run_mode(const std::string& name, std::uint64_t mr_bytes,
+                    std::size_t max_mrs) {
+  testbed::Cluster cluster;
+  core::MemCacheConfig cfg;
+  cfg.mr_bytes = mr_bytes;
+  cfg.max_mrs = max_mrs;  // the fixed memory cap: mr_bytes * max_mrs
+  cfg.isolation = false;
+  core::MemCache cache(cluster.rnic(0), cfg);
+  Rng rng(17);
+
+  ModeResult result;
+  result.name = name;
+  std::vector<core::MemBlock> live;
+  auto churn = [&](int steps, double target_live_mb) {
+    for (int i = 0; i < steps; ++i) {
+      const double live_mb =
+          static_cast<double>(cache.stats().in_use_bytes) / 1e6;
+      if (live.empty() || (live_mb < target_live_mb && rng.chance(0.7))) {
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(rng.uniform(4 * 1024, 1024 * 1024));
+        core::MemBlock b = cache.alloc(len);
+        if (b.valid()) live.push_back(b);
+      } else {
+        const std::size_t at = rng.next_below(live.size());
+        cache.free(live[at]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+      if (i % 64 == 0) cache.shrink();
+      result.peak_occupied_mb = std::max(
+          result.peak_occupied_mb,
+          static_cast<double>(cache.stats().occupied_bytes) / 1e6);
+      result.peak_in_use_mb =
+          std::max(result.peak_in_use_mb,
+                   static_cast<double>(cache.stats().in_use_bytes) / 1e6);
+    }
+  };
+
+  churn(4000, 8);    // light load
+  churn(4000, 100);  // swell
+  churn(4000, 4);    // decay
+  for (const auto& b : live) cache.free(b);
+  cache.shrink();
+
+  result.final_occupied_mb =
+      static_cast<double>(cache.stats().occupied_bytes) / 1e6;
+  result.failed_allocs = cache.stats().failed_allocs;
+  result.grow_events = cache.stats().grow_events;
+  result.shrink_events = cache.stats().shrink_events;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_header("§VII-F exp.3 — memory modes under a 128 MB cap (churn + swell)");
+  std::vector<ModeResult> rows;
+  rows.push_back(run_mode("contiguous-128MB", 128u << 20, 1));
+  rows.push_back(run_mode("non-contig-4MB", 4u << 20, 32));
+  rows.push_back(run_mode("hugepage-2MB", 2u << 20, 64));
+
+  print_row({"mode", "peak_occ_MB", "final_occ_MB", "peak_use_MB",
+             "failed", "grows", "shrinks"},
+            17);
+  for (const auto& r : rows) {
+    print_row({r.name, fmt("%.0f", r.peak_occupied_mb),
+               fmt("%.0f", r.final_occupied_mb), fmt("%.0f", r.peak_in_use_mb),
+               std::to_string(r.failed_allocs), std::to_string(r.grow_events),
+               std::to_string(r.shrink_events)},
+              17);
+  }
+
+  std::printf(
+      "\ncontiguous mode pins its full reservation for the process lifetime "
+      "(final occupancy %.0f MB vs %.0f MB non-contiguous) — the OOM and "
+      "kernel-reclaim pressure the paper observed; non-contiguous tracks "
+      "demand with on-demand grow/shrink at equal allocation success.\n",
+      rows[0].final_occupied_mb, rows[1].final_occupied_mb);
+  return 0;
+}

@@ -1,0 +1,248 @@
+// Figure 12: online anti-jitter under a load surge.
+//
+// The paper's dotted box: the ESSD/X-DB traffic itself surges ~300% (peak
+// hours) and, thanks to the anti-jitter machinery (bounded seq-ack windows
+// + flow-controlled rendezvous pulls), latency shows "no significant
+// increment". We reproduce it with eight client hosts whose aggregate
+// 128 KB write load steps from 2 to 6 Gbps against one server. With flow
+// control the server's pull queue stays bounded and p99 barely moves; with
+// it disabled, convergent pull bursts overrun the ECN knee, DCQCN
+// overreacts, and p99 inflates by the §III jitter factors (2-15x).
+#include <memory>
+
+#include "apps/xdb.hpp"
+#include "bench/bench_util.hpp"
+#include "common/histogram.hpp"
+#include "common/rate.hpp"
+#include "common/rng.hpp"
+
+using namespace xrdma;
+using namespace xrdma::bench;
+
+namespace {
+
+constexpr int kClients = 8;
+constexpr std::uint32_t kWriteSize = 128 * 1024;
+
+struct PhaseStats {
+  double p50_us = 0;
+  double p99_us = 0;
+  double gbps = 0;
+  double kops = 0;
+};
+
+struct CaseResult {
+  PhaseStats base;
+  PhaseStats surge;
+};
+
+CaseResult run_case(bool anti_jitter) {
+  testbed::ClusterConfig ccfg;
+  ccfg.fabric = net::ClosConfig::rack(kClients + 1);
+  ccfg.fabric.buffer_bytes = 16u << 20;
+  testbed::Cluster cluster(ccfg);
+
+  core::Config cfg;
+  cfg.memcache_real_memory = false;
+  cfg.flowctl = anti_jitter;
+  cfg.frag_size = 64 * 1024;
+  cfg.max_outstanding_wrs = 4;
+
+  core::Context server(cluster.rnic(0), cluster.cm(), cfg);
+  server.config().poll_mode = core::PollMode::busy;
+  server.listen(7000, [](core::Channel& ch) {
+    ch.set_on_msg([](core::Channel& c, core::Msg&& m) {
+      if (m.is_rpc_req) c.reply(m.rpc_id, Buffer::make(8));
+    });
+  });
+  server.start_polling_loop();
+
+  struct Client {
+    std::unique_ptr<core::Context> ctx;
+    core::Channel* ch = nullptr;
+    Rng rng{0};
+    bool running = true;
+  };
+  std::vector<std::unique_ptr<Client>> clients;
+  auto total_gbps = std::make_shared<double>(5.5);
+  auto hist = std::make_shared<Histogram>();
+  std::uint64_t completed_bytes = 0;
+
+  for (int i = 0; i < kClients; ++i) {
+    auto cl = std::make_unique<Client>();
+    cl->rng.reseed(static_cast<std::uint64_t>(i) * 77 + 5);
+    cl->ctx = std::make_unique<core::Context>(
+        cluster.rnic(static_cast<net::NodeId>(i + 1)), cluster.cm(), cfg);
+    cl->ctx->config().poll_mode = core::PollMode::busy;
+    cl->ctx->start_polling_loop();
+    cl->ctx->connect(0, 7000, [c = cl.get()](Result<core::Channel*> r) {
+      if (r.ok()) c->ch = r.value();
+    });
+    clients.push_back(std::move(cl));
+  }
+  cluster.engine().run_for(millis(30));
+
+  // Open-loop Poisson writes per client; the per-client rate follows the
+  // shared aggregate target.
+  std::function<void(Client*)> tick = [&](Client* cl) {
+    if (!cl->running) return;
+    // ESSD-style flush: a burst of writes per arrival (burstiness is what
+    // provokes the convergent pulls the flow control smooths).
+    constexpr int kBurst = 4;
+    if (cl->ch && cl->ch->usable()) {
+      for (int b = 0; b < kBurst; ++b) {
+        const Nanos t0 = cluster.engine().now();
+        cl->ch->call(
+            Buffer::synthetic(kWriteSize),
+            [&, t0](Result<core::Msg> r) {
+              if (r.ok()) {
+                hist->record(cluster.engine().now() - t0);
+                completed_bytes += kWriteSize;
+              }
+            },
+            millis(500));
+      }
+    }
+    const double per_client_bps = *total_gbps * 1e9 / 8.0 / kClients;
+    const double mean_gap_ns =
+        static_cast<double>(kWriteSize) * kBurst / per_client_bps * 1e9;
+    cluster.engine().schedule_after(
+        std::max<Nanos>(1,
+                        static_cast<Nanos>(cl->rng.exponential(mean_gap_ns))),
+        [&tick, cl] { tick(cl); });
+  };
+  for (auto& cl : clients) tick(cl.get());
+
+  auto snapshot = [&](Nanos phase_dur) {
+    PhaseStats s;
+    const std::uint64_t bytes_before = completed_bytes;
+    hist = std::make_shared<Histogram>();
+    cluster.engine().run_for(phase_dur);
+    s.p50_us = to_micros(hist->percentile(50));
+    s.p99_us = to_micros(hist->percentile(99));
+    s.gbps = static_cast<double>(completed_bytes - bytes_before) * 8.0 /
+             static_cast<double>(phase_dur);
+    s.kops = static_cast<double>(hist->count()) * 1e6 /
+             static_cast<double>(phase_dur);
+    return s;
+  };
+
+  CaseResult result;
+  cluster.engine().run_for(millis(60));  // warmup
+  result.base = snapshot(millis(150));
+  *total_gbps = 17.0;                     // the ~300% surge
+  cluster.engine().run_for(millis(30));   // transition
+  result.surge = snapshot(millis(200));
+
+  for (auto& cl : clients) cl->running = false;
+  cluster.engine().run_for(millis(2));
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig. 12 — anti-jitter: 128KB write bursts surging ~3x");
+  const CaseResult aj = run_case(/*anti_jitter=*/true);
+  const CaseResult raw = run_case(/*anti_jitter=*/false);
+
+  print_row({"metric", "xrdma", "no-anti-jitter"}, 26);
+  print_row({"goodput base (Gbps)", fmt("%.2f", aj.base.gbps),
+             fmt("%.2f", raw.base.gbps)},
+            26);
+  print_row({"goodput surged (Gbps)", fmt("%.2f", aj.surge.gbps),
+             fmt("%.2f", raw.surge.gbps)},
+            26);
+  print_row({"p50 base (us)", fmt("%.0f", aj.base.p50_us),
+             fmt("%.0f", raw.base.p50_us)},
+            26);
+  print_row({"p50 surged (us)", fmt("%.0f", aj.surge.p50_us),
+             fmt("%.0f", raw.surge.p50_us)},
+            26);
+  print_row({"p99 base (us)", fmt("%.0f", aj.base.p99_us),
+             fmt("%.0f", raw.base.p99_us)},
+            26);
+  print_row({"p99 surged (us)", fmt("%.0f", aj.surge.p99_us),
+             fmt("%.0f", raw.surge.p99_us)},
+            26);
+
+  print_header("Fig. 12 / §III claims");
+  std::printf("xrdma: throughput x%.1f during surge (paper: ~300%%); p99 "
+              "inflation x%.2f (paper: no significant increment)\n",
+              aj.surge.gbps / aj.base.gbps, aj.surge.p99_us / aj.base.p99_us);
+  std::printf("unmitigated: p99 inflation x%.2f (paper §III: 2-15x higher "
+              "latency under congestion)\n",
+              raw.surge.p99_us / raw.base.p99_us);
+  std::printf("surge-phase p99 ratio (unmitigated / xrdma): x%.1f — the "
+              "jitter the middleware removes; throughput collapse under "
+              "full saturation is Fig. 10's experiment\n",
+              raw.surge.p99_us / aj.surge.p99_us);
+
+  // ---- Fig. 12b: the X-DB transaction stream through the same surge ----
+  print_header("Fig. 12b — X-DB transactions while storage traffic surges");
+  {
+    testbed::ClusterConfig ccfg;
+    ccfg.fabric = net::ClosConfig::rack(kClients + 3);
+    ccfg.fabric.buffer_bytes = 16u << 20;
+    testbed::Cluster cluster(ccfg);
+    core::Config cfg;
+    cfg.memcache_real_memory = false;
+    cfg.max_outstanding_wrs = 4;
+
+    apps::XdbConfig xcfg;
+    xcfg.concurrency = 4;
+    xcfg.xrdma = cfg;
+    apps::XdbServer db_server(cluster, 0, xcfg);
+    apps::XdbClient db_client(cluster, 1, 0, xcfg);
+    db_client.start(nullptr);
+    cluster.engine().run_for(millis(60));
+
+    // Storage pressure against the same server host.
+    std::vector<std::unique_ptr<core::Context>> bg;
+    std::vector<core::Channel*> bg_chans;
+    core::Context sink(cluster.rnic(0), cluster.cm(), cfg);
+    sink.config().poll_mode = core::PollMode::busy;
+    sink.listen(7400, [](core::Channel& ch) {
+      ch.set_on_msg([](core::Channel&, core::Msg&&) {});
+    });
+    sink.start_polling_loop();
+    for (int s = 0; s < kClients; ++s) {
+      bg.push_back(std::make_unique<core::Context>(
+          cluster.rnic(static_cast<net::NodeId>(2 + s)), cluster.cm(), cfg));
+      bg.back()->config().poll_mode = core::PollMode::busy;
+      bg.back()->start_polling_loop();
+      bg.back()->connect(0, 7400, [&](Result<core::Channel*> r) {
+        if (r.ok()) bg_chans.push_back(r.value());
+      });
+    }
+    cluster.engine().run_for(millis(40));
+
+    const std::uint64_t before_commits = db_client.committed();
+    cluster.engine().run_for(millis(100));
+    const double base_tps =
+        static_cast<double>(db_client.committed() - before_commits) * 10.0;
+    const double base_p99 = to_micros(db_client.txn_latency().percentile(99));
+
+    sim::PeriodicTimer bg_feeder(cluster.engine(), micros(400), [&] {
+      for (core::Channel* ch : bg_chans) {
+        while (ch->usable() && ch->inflight_msgs() + ch->queued_msgs() < 2) {
+          ch->send_msg(Buffer::synthetic(128 * 1024));
+        }
+      }
+    });
+    bg_feeder.start();
+    const std::uint64_t surge_start = db_client.committed();
+    cluster.engine().run_for(millis(100));
+    bg_feeder.stop();
+    const double surge_tps =
+        static_cast<double>(db_client.committed() - surge_start) * 10.0;
+    const double surge_p99 = to_micros(db_client.txn_latency().percentile(99));
+
+    std::printf("tps: base=%.0f surged=%.0f (%.0f%% retained); txn p99: "
+                "base=%.0fus overall=%.0fus (paper: jitter mitigation and "
+                "latency stabilization)\n",
+                base_tps, surge_tps, 100.0 * surge_tps / base_tps, base_p99,
+                surge_p99);
+  }
+  return 0;
+}

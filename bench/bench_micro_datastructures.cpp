@@ -1,0 +1,144 @@
+// Microbenchmarks (google-benchmark) for the hot-path data structures: the
+// event engine, the seq-ack window, the memory-cache allocator, histogram
+// recording, and wire header encode/decode. These bound the simulator's
+// own throughput (events/sec) and the middleware's per-message CPU work.
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "core/memcache.hpp"
+#include "core/msg.hpp"
+#include "core/context.hpp"
+#include "core/window.hpp"
+#include "sim/engine.hpp"
+#include "testbed/cluster.hpp"
+
+namespace {
+
+using namespace xrdma;
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  sim::Engine eng;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    eng.schedule_after(100, [&sink] { ++sink; });
+    eng.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_EngineDeepQueue(benchmark::State& state) {
+  // Scheduling into a heap that already holds `depth` pending events.
+  const int depth = static_cast<int>(state.range(0));
+  sim::Engine eng;
+  std::uint64_t sink = 0;
+  for (int i = 0; i < depth; ++i) {
+    eng.schedule_after(seconds(1) + i, [&sink] { ++sink; });
+  }
+  for (auto _ : state) {
+    eng.schedule_after(100, [&sink] { ++sink; });
+    eng.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EngineDeepQueue)->Arg(1000)->Arg(100000);
+
+void BM_RingBufferPushPop(benchmark::State& state) {
+  RingBuffer<std::uint64_t> ring(64);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.push(v++);
+    benchmark::DoNotOptimize(ring.pop());
+  }
+}
+BENCHMARK(BM_RingBufferPushPop);
+
+void BM_SendWindowCycle(benchmark::State& state) {
+  core::SendWindow<std::uint64_t> win(64);
+  core::Seq seq = 0;
+  for (auto _ : state) {
+    win.push(seq);
+    win.process_ack(seq + 1, [](core::Seq, std::uint64_t&) {});
+    ++seq;
+  }
+}
+BENCHMARK(BM_SendWindowCycle);
+
+void BM_RecvWindowCycle(benchmark::State& state) {
+  core::RecvWindow<std::uint64_t> win(64);
+  core::Seq seq = 0;
+  for (auto _ : state) {
+    win.arrive(seq);
+    win.complete(seq, [](core::Seq, std::uint64_t&) {});
+    win.note_ack_sent();
+    ++seq;
+  }
+}
+BENCHMARK(BM_RecvWindowCycle);
+
+void BM_MemCacheAllocFree(benchmark::State& state) {
+  testbed::Cluster cluster;
+  core::MemCacheConfig cfg;
+  cfg.isolation = state.range(0) != 0;
+  core::MemCache cache(cluster.rnic(0), cfg);
+  for (auto _ : state) {
+    core::MemBlock b = cache.alloc(4096);
+    cache.free(b);
+  }
+}
+BENCHMARK(BM_MemCacheAllocFree)->Arg(0)->Arg(1);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(3);
+  for (auto _ : state) {
+    h.record(static_cast<std::int64_t>(rng.next_below(1u << 20)));
+  }
+  benchmark::DoNotOptimize(h.percentile(99));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_WireHeaderEncodeDecode(benchmark::State& state) {
+  core::WireHeader hdr;
+  hdr.flags = core::kFlagRpcReq | core::kFlagTraced;
+  hdr.seq = 123456;
+  hdr.ack = 123450;
+  hdr.payload_len = 4096;
+  std::uint8_t buf[128];
+  for (auto _ : state) {
+    hdr.encode(buf);
+    core::WireHeader out;
+    benchmark::DoNotOptimize(
+        core::WireHeader::decode(buf, sizeof(buf), out));
+  }
+}
+BENCHMARK(BM_WireHeaderEncodeDecode);
+
+void BM_FullStackSmallMessage(benchmark::State& state) {
+  // End-to-end simulator cost of one small message (wall time per
+  // simulated message, all layers included).
+  testbed::Cluster cluster;
+  core::Context server(cluster.rnic(1), cluster.cm());
+  core::Context client(cluster.rnic(0), cluster.cm());
+  core::Channel* ch = nullptr;
+  std::uint64_t delivered = 0;
+  server.listen(7000, [&](core::Channel& c) {
+    c.set_on_msg([&](core::Channel&, core::Msg&&) { ++delivered; });
+  });
+  client.connect(1, 7000, [&](Result<core::Channel*> r) { ch = r.value(); });
+  cluster.engine().run_for(millis(30));
+  for (auto _ : state) {
+    ch->send_msg(Buffer::synthetic(64));
+    client.polling();
+    server.polling();
+    cluster.engine().run_for(micros(20));
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_FullStackSmallMessage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

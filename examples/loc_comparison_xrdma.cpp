@@ -1,0 +1,41 @@
+// §VII-B, X-RDMA side: a request/response data plane in ~25 lines of
+// application logic. Compare examples/loc_comparison_verbs.cpp — the same
+// behaviour hand-built on raw verbs (QP state machine, explicit memory
+// registration, pre-posting, CQ polling, manual framing) at several times
+// the length; the paper reports 2000 vs ~40 LoC for Pangu's data plane.
+#include <cstdio>
+
+#include "core/context.hpp"
+#include "testbed/cluster.hpp"
+
+using namespace xrdma;
+
+int main() {
+  testbed::Cluster cluster;
+  core::Context server(cluster.rnic(1), cluster.cm());
+  core::Context client(cluster.rnic(0), cluster.cm());
+
+  server.listen(9000, [](core::Channel& ch) {
+    ch.set_on_msg([](core::Channel& c, core::Msg&& m) {
+      c.reply(m.rpc_id, Buffer::from_string("echo:" + m.payload.to_string()));
+    });
+  });
+
+  int done = 0;
+  client.connect(1, 9000, [&](Result<core::Channel*> r) {
+    for (int i = 0; i < 3; ++i) {
+      r.value()->call(Buffer::from_string("req" + std::to_string(i)),
+                      [&](Result<core::Msg> resp) {
+                        std::printf("response: %s\n",
+                                    resp.value().payload.to_string().c_str());
+                        ++done;
+                      });
+    }
+  });
+
+  server.start_polling_loop();
+  client.start_polling_loop();
+  cluster.run_for(millis(50));
+  std::printf("%d/3 rpcs completed\n", done);
+  return done == 3 ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+#include "analysis/clock_sync.hpp"
+
+#include <cstring>
+#include <memory>
+
+namespace xrdma::analysis {
+
+namespace {
+Buffer encode_time(Nanos t) {
+  Buffer b = Buffer::make(8);
+  std::memcpy(b.data(), &t, 8);
+  return b;
+}
+
+Nanos decode_time(const Buffer& b) {
+  Nanos t = 0;
+  if (b.size() >= 8 && b.data()) std::memcpy(&t, b.data(), 8);
+  return t;
+}
+}  // namespace
+
+void serve_clock_sync(core::Channel& channel) {
+  channel.set_on_msg([](core::Channel& ch, core::Msg&& msg) {
+    if (!msg.is_rpc_req) return;
+    ch.reply(msg.rpc_id, encode_time(ch.context().local_time()));
+  });
+}
+
+void run_clock_sync(core::Channel& channel, int probes,
+                    std::function<void(ClockSyncResult)> done,
+                    bool install_offset) {
+  struct State {
+    ClockSyncResult result;
+    int remaining = 0;
+    bool have_sample = false;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = probes;
+  state->result.probes = probes;
+
+  // Issue probes sequentially: back-to-back probes would queue behind each
+  // other and inflate RTTs.
+  auto issue = std::make_shared<std::function<void()>>();
+  *issue = [state, issue, &channel, done = std::move(done), install_offset] {
+    core::Context& ctx = channel.context();
+    const Nanos t1 = ctx.local_time();
+    channel.call(
+        encode_time(t1),
+        [state, issue, &channel, done, install_offset, t1](Result<core::Msg> r) {
+          core::Context& ctx = channel.context();
+          if (r.ok()) {
+            const Nanos t3 = ctx.local_time();
+            const Nanos t2 = decode_time(r.value().payload);
+            const Nanos rtt = t3 - t1;
+            const Nanos offset = t2 - (t1 + t3) / 2;
+            if (!state->have_sample || rtt < state->result.best_rtt) {
+              state->have_sample = true;
+              state->result.best_rtt = rtt;
+              state->result.offset = offset;
+            }
+          }
+          if (--state->remaining > 0) {
+            (*issue)();
+            return;
+          }
+          if (install_offset && state->have_sample) {
+            ctx.set_peer_clock_offset(state->result.offset);
+          }
+          if (done) done(state->result);
+        });
+  };
+  (*issue)();
+}
+
+}  // namespace xrdma::analysis

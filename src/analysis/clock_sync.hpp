@@ -1,0 +1,34 @@
+// Clock synchronization service (§VI-A method I).
+//
+// The latency-decomposition tracing needs the sender/receiver clock offset
+// Toff. This service estimates it NTP-style over an X-RDMA channel: the
+// client stamps t1, the server replies with its local t2, the client
+// stamps t3 on receipt; offset = t2 - (t1+t3)/2 for the probe with the
+// smallest RTT (least queueing noise). The result feeds
+// Context::set_peer_clock_offset.
+#pragma once
+
+#include <functional>
+
+#include "core/context.hpp"
+
+namespace xrdma::analysis {
+
+struct ClockSyncResult {
+  Nanos offset = 0;    // peer_clock - local_clock
+  Nanos best_rtt = 0;  // RTT of the sample used
+  int probes = 0;
+};
+
+/// Server side: answer clock probes on this channel. Installs an on_msg
+/// handler; use a dedicated channel (or install before app handlers and
+/// chain). Returns immediately.
+void serve_clock_sync(core::Channel& channel);
+
+/// Client side: run `probes` round trips on `channel`, then invoke `done`
+/// and (by default) install the offset into the channel's context.
+void run_clock_sync(core::Channel& channel, int probes,
+                    std::function<void(ClockSyncResult)> done,
+                    bool install_offset = true);
+
+}  // namespace xrdma::analysis

@@ -1,0 +1,40 @@
+// Mock (§VI-C): live fallback of an X-RDMA channel onto kernel TCP.
+//
+// For rare RDMA anomalies (protocol stack collapse, pathological incast)
+// the paper temporarily reroutes a channel's traffic over TCP without the
+// application noticing. Here: the server side listens on a TCP port; the
+// client side connects, identifies which channel it is speaking for (by
+// the server's QP number), and both ends install a tx_override so encoded
+// messages travel the TCP stream (length-prefixed frames) while the
+// seq-ack protocol above stays untouched. restore_rdma() switches back.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/context.hpp"
+#include "tcpsim/tcp.hpp"
+
+namespace xrdma::analysis {
+
+class MockFallback {
+ public:
+  /// Server side: accept TCP fallback connections for channels owned by
+  /// `ctx`. Keep the object alive while fallback may occur.
+  MockFallback(core::Context& ctx, tcpsim::TcpStack& tcp, std::uint16_t port);
+
+  /// Client side: switch `ch` onto TCP toward the peer's fallback port.
+  /// `done` fires once both ends have flipped.
+  static void switch_to_tcp(core::Channel& ch, tcpsim::TcpStack& tcp,
+                            std::uint16_t peer_port,
+                            std::function<void(Errc)> done);
+
+  /// Switch a mocked channel back to its RDMA QP (either side; the stream
+  /// is closed, which flips the peer too).
+  static void restore_rdma(core::Channel& ch);
+
+ private:
+  core::Context& ctx_;
+};
+
+}  // namespace xrdma::analysis

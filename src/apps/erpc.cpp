@@ -1,0 +1,197 @@
+#include "apps/erpc.hpp"
+
+#include <cstring>
+
+namespace xrdma::apps::erpc {
+
+namespace {
+// RPC envelope: [varint method][varint status][payload...]. Status 0 = ok
+// on responses (requests always carry 0).
+Buffer envelope(MethodId method, std::uint32_t status, const Buffer& payload) {
+  WireWriter w;
+  w.put_u32(method);
+  w.put_u32(status);
+  Buffer head = w.finish();
+  Buffer out = Buffer::make(head.size() + payload.size());
+  std::memcpy(out.data(), head.data(), head.size());
+  if (payload.size() > 0 && payload.data()) {
+    std::memcpy(out.data() + head.size(), payload.data(), payload.size());
+  }
+  return out;
+}
+
+bool open_envelope(const Buffer& wire, MethodId& method, std::uint32_t& status,
+                   Buffer& payload) {
+  WireReader r(wire);
+  const auto m = r.varint();
+  const auto s = r.varint();
+  if (!m || !s) return false;
+  method = static_cast<MethodId>(*m);
+  status = static_cast<std::uint32_t>(*s);
+  // Remaining bytes are the payload; WireReader doesn't expose position,
+  // so re-derive it from a second scan.
+  WireWriter probe;
+  probe.put_u32(method);
+  probe.put_u32(status);
+  const std::size_t header = probe.size();
+  payload = Buffer::make(wire.size() - header);
+  if (payload.size() > 0) {
+    std::memcpy(payload.data(), wire.data() + header, payload.size());
+  }
+  return true;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Wire codec.
+
+void WireWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void WireWriter::put_bytes(const std::uint8_t* data, std::size_t len) {
+  put_varint(len);
+  bytes_.insert(bytes_.end(), data, data + len);
+}
+
+Buffer WireWriter::finish() const {
+  Buffer b = Buffer::make(bytes_.size());
+  if (!bytes_.empty()) std::memcpy(b.data(), bytes_.data(), bytes_.size());
+  return b;
+}
+
+std::optional<std::uint64_t> WireReader::varint() {
+  if (!ok_ || !data_) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < size_ && shift <= 63) {
+    const std::uint8_t byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  ok_ = false;
+  return std::nullopt;
+}
+
+std::optional<std::string> WireReader::string() {
+  const auto len = varint();
+  if (!len || pos_ + *len > size_) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(*len));
+  pos_ += static_cast<std::size_t>(*len);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+
+Server::Server(core::Context& ctx, std::uint16_t port) : ctx_(ctx) {
+  ctx_.listen(port, [this](core::Channel& ch) {
+    ch.set_on_msg([this](core::Channel& c, core::Msg&& m) {
+      dispatch(c, std::move(m));
+    });
+  });
+}
+
+void Server::register_method(MethodId id, Handler handler) {
+  methods_[id] = std::move(handler);
+}
+
+void Server::dispatch(core::Channel& ch, core::Msg&& msg) {
+  if (!msg.is_rpc_req) return;
+  MethodId method = 0;
+  std::uint32_t status = 0;
+  Buffer payload;
+  if (!open_envelope(msg.payload, method, status, payload)) {
+    ch.reply(msg.rpc_id,
+             envelope(0, static_cast<std::uint32_t>(Errc::bad_message), {}));
+    return;
+  }
+  auto it = methods_.find(method);
+  if (it == methods_.end()) {
+    ++unknown_;
+    ch.reply(msg.rpc_id,
+             envelope(method, static_cast<std::uint32_t>(Errc::not_found), {}));
+    return;
+  }
+  ++served_;
+  Call call;
+  call.request = std::move(payload);
+  call.peer = ch.peer_node();
+  const std::uint64_t rpc_id = msg.rpc_id;
+  const std::uint64_t chan_id = ch.id();
+  core::Context* ctx = &ctx_;
+  // The handler may respond asynchronously; route through ids so a closed
+  // channel degrades to a dropped reply instead of a dangling pointer.
+  call.respond = [ctx, chan_id, rpc_id, method](Buffer rsp) {
+    for (core::Channel* c : ctx->channels()) {
+      if (c->id() == chan_id && c->usable()) {
+        c->reply(rpc_id, envelope(method, 0, rsp));
+        return;
+      }
+    }
+  };
+  call.respond_error = [ctx, chan_id, rpc_id, method](Errc e) {
+    for (core::Channel* c : ctx->channels()) {
+      if (c->id() == chan_id && c->usable()) {
+        c->reply(rpc_id, envelope(method, static_cast<std::uint32_t>(e), {}));
+        return;
+      }
+    }
+  };
+  it->second(std::move(call));
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+
+ClientStub::ClientStub(core::Context& ctx, net::NodeId server,
+                       std::uint16_t port)
+    : ctx_(ctx), server_(server), port_(port) {}
+
+void ClientStub::connect(std::function<void(Errc)> ready) {
+  ctx_.connect(server_, port_,
+               [this, ready = std::move(ready)](Result<core::Channel*> r) {
+                 if (r.ok()) channel_ = r.value();
+                 if (ready) ready(r.ok() ? Errc::ok : r.error());
+               });
+}
+
+Errc ClientStub::call(MethodId method, Buffer request, Callback cb,
+                      Nanos deadline) {
+  if (!connected()) return Errc::unavailable;
+  return channel_->call(
+      envelope(method, 0, request),
+      [cb = std::move(cb)](Result<core::Msg> r) {
+        if (!r.ok()) {
+          cb(r.error());
+          return;
+        }
+        MethodId method_out = 0;
+        std::uint32_t status = 0;
+        Buffer payload;
+        if (!open_envelope(r.value().payload, method_out, status, payload)) {
+          cb(Errc::bad_message);
+          return;
+        }
+        if (status != 0) {
+          cb(static_cast<Errc>(status));
+          return;
+        }
+        cb(std::move(payload));
+      },
+      deadline);
+}
+
+}  // namespace xrdma::apps::erpc

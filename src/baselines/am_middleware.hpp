@@ -1,0 +1,82 @@
+// Comparator middlewares for the Fig. 7 evaluation.
+//
+// The paper compares X-RDMA against ibv_rc_pingpong (raw verbs), accelio
+// (xio), UCX (ucx-am-rc) and libfabric. We reproduce the comparison with
+// an active-message engine over the same verbs layer, parameterized by
+// what actually differentiates those stacks on this microbenchmark:
+//   - per-operation software path cost (dispatch depth, descriptor
+//     translation),
+//   - payload copies on each side (accelio copies aggressively; UCX's
+//     eager path copies once at the receiver; raw verbs copies nothing),
+//   - the eager/rendezvous threshold and the rendezvous shape (one extra
+//     descriptor round plus a bulk Read).
+// Presets below encode each stack; EXPERIMENTS.md records the calibration
+// against the paper's numbers (X-RDMA 5.60 us vs ucx 5.87 vs libfabric
+// 6.20; xio notably slower; ibv_rc_pingpong as the floor).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "testbed/cluster.hpp"
+#include "verbs/verbs.hpp"
+
+namespace xrdma::baselines {
+
+struct AmConfig {
+  std::string name;
+  Nanos send_overhead = 0;       // software cost per send op
+  Nanos recv_overhead = 0;       // software cost per delivery
+  std::uint32_t eager_threshold = 8192;
+  std::uint32_t header_bytes = 40;
+  int copies_on_send = 0;
+  int copies_on_recv = 0;
+  double copy_gbps = 80.0;       // memcpy bandwidth for the copy model
+
+  /// Raw ibv_rc_pingpong: no middleware at all.
+  static AmConfig ibv_pingpong();
+  /// accelio: deep portable abstraction, copies on both sides.
+  static AmConfig xio_like();
+  /// UCX ucx-am-rc: lean AM path, one receive-side copy, 8K eager.
+  static AmConfig ucx_am_rc_like();
+  /// libfabric: provider dispatch indirection, 16K eager default.
+  static AmConfig libfabric_like();
+};
+
+/// One connected active-message endpoint pair (client on node a, server on
+/// node b), echo semantics: every client message is bounced back at equal
+/// size. Wired directly (no CM) — these exist for data-plane comparison.
+class AmPair {
+ public:
+  AmPair(testbed::Cluster& cluster, net::NodeId a, net::NodeId b,
+         AmConfig config);
+  ~AmPair();
+  AmPair(const AmPair&) = delete;
+  AmPair& operator=(const AmPair&) = delete;
+
+  const std::string& name() const { return cfg_.name; }
+
+  /// One echo round trip of `size` payload bytes; `done` gets the RTT.
+  void ping(std::uint32_t size, std::function<void(Nanos)> done);
+
+  /// Convenience: run `count` sequential pings and report the steady-state
+  /// average RTT (first `warmup` excluded). Blocks the engine via run().
+  Nanos measure_avg_rtt(std::uint32_t size, int count, int warmup = 4);
+
+ private:
+  struct Side;
+  void arm(Side& side);
+  void on_wc(Side& side, const verbs::Wc& wc);
+  void deliver(Side& side, std::uint32_t size, bool is_echo);
+  void send_message(Side& side, std::uint32_t size, bool is_echo);
+
+  testbed::Cluster& cluster_;
+  AmConfig cfg_;
+  std::unique_ptr<Side> client_;
+  std::unique_ptr<Side> server_;
+  std::function<void(Nanos)> pending_done_;
+  Nanos ping_started_ = 0;
+};
+
+}  // namespace xrdma::baselines

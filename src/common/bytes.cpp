@@ -1,0 +1,26 @@
+#include "common/bytes.hpp"
+
+namespace xrdma {
+
+namespace {
+std::uint8_t pattern_byte(std::uint64_t seed, std::size_t i) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return static_cast<std::uint8_t>(z >> 56);
+}
+}  // namespace
+
+void fill_pattern(Buffer& b, std::uint64_t seed) {
+  if (!b.data()) return;
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = pattern_byte(seed, i);
+}
+
+bool check_pattern(const Buffer& b, std::uint64_t seed) {
+  if (!b.data()) return b.empty();
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b.data()[i] != pattern_byte(seed, i)) return false;
+  }
+  return true;
+}
+
+}  // namespace xrdma

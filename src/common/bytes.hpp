@@ -1,0 +1,82 @@
+// Payload buffers.
+//
+// Messages in the simulator carry either real bytes (tests validate
+// content end-to-end) or just a length ("synthetic" payloads) so large
+// bandwidth benches don't pay for memcpy of gigabytes. A Buffer is a
+// refcounted byte block; BufferView is a cheap slice of one.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xrdma {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// Real buffer with storage.
+  static Buffer make(std::size_t size) {
+    Buffer b;
+    b.data_ = std::make_shared<std::vector<std::uint8_t>>(size);
+    b.size_ = size;
+    return b;
+  }
+
+  static Buffer from_string(std::string_view s) {
+    Buffer b = make(s.size());
+    std::memcpy(b.data(), s.data(), s.size());
+    return b;
+  }
+
+  /// Length-only buffer: occupies wire bytes but no memory.
+  static Buffer synthetic(std::size_t size) {
+    Buffer b;
+    b.size_ = size;
+    return b;
+  }
+
+  std::size_t size() const { return size_; }
+  bool is_synthetic() const { return !data_ && size_ > 0; }
+  bool empty() const { return size_ == 0; }
+
+  std::uint8_t* data() { return data_ ? data_->data() : nullptr; }
+  const std::uint8_t* data() const { return data_ ? data_->data() : nullptr; }
+
+  std::string to_string() const {
+    if (!data_) return std::string(size_, '\0');
+    return std::string(reinterpret_cast<const char*>(data_->data()), size_);
+  }
+
+  /// Deep copy (synthetic stays synthetic).
+  Buffer clone() const {
+    if (!data_) {
+      Buffer b;
+      b.size_ = size_;
+      return b;
+    }
+    Buffer b = make(size_);
+    std::memcpy(b.data(), data(), size_);
+    return b;
+  }
+
+  bool operator==(const Buffer& o) const {
+    if (size_ != o.size_) return false;
+    if (!data_ || !o.data_) return is_synthetic() == o.is_synthetic() || size_ == 0;
+    return std::memcmp(data(), o.data(), size_) == 0;
+  }
+
+ private:
+  std::shared_ptr<std::vector<std::uint8_t>> data_;
+  std::size_t size_ = 0;
+};
+
+/// Fill with a deterministic pattern derived from `seed`, for end-to-end
+/// content validation in tests.
+void fill_pattern(Buffer& b, std::uint64_t seed);
+bool check_pattern(const Buffer& b, std::uint64_t seed);
+
+}  // namespace xrdma

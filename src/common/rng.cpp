@@ -1,0 +1,14 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace xrdma {
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; clamp the uniform away from 0 to avoid log(0).
+  double u = next_double();
+  if (u < 1e-12) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+}  // namespace xrdma

@@ -1,0 +1,35 @@
+#include "common/status.hpp"
+
+namespace xrdma {
+
+std::string_view errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::resource_exhausted: return "resource_exhausted";
+    case Errc::unavailable: return "unavailable";
+    case Errc::timed_out: return "timed_out";
+    case Errc::cancelled: return "cancelled";
+    case Errc::internal: return "internal";
+    case Errc::local_length_error: return "local_length_error";
+    case Errc::local_protection_error: return "local_protection_error";
+    case Errc::wr_flush_error: return "wr_flush_error";
+    case Errc::remote_access_error: return "remote_access_error";
+    case Errc::remote_invalid_request: return "remote_invalid_request";
+    case Errc::rnr_retry_exceeded: return "rnr_retry_exceeded";
+    case Errc::transport_retry_exceeded: return "transport_retry_exceeded";
+    case Errc::remote_operation_error: return "remote_operation_error";
+    case Errc::connection_refused: return "connection_refused";
+    case Errc::connection_reset: return "connection_reset";
+    case Errc::peer_dead: return "peer_dead";
+    case Errc::window_full: return "window_full";
+    case Errc::channel_closed: return "channel_closed";
+    case Errc::payload_too_large: return "payload_too_large";
+    case Errc::bad_message: return "bad_message";
+  }
+  return "unknown";
+}
+
+}  // namespace xrdma

@@ -1,0 +1,87 @@
+// Error codes shared across the stack, plus a tiny Result<T>.
+//
+// The verbs layer mirrors ibverbs' work-completion status values where a
+// direct analogue exists (RNR, remote access, retry exceeded, ...), and the
+// middleware layers reuse the same enum so errors propagate without
+// translation tables.
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace xrdma {
+
+enum class Errc {
+  ok = 0,
+  // Generic.
+  invalid_argument,
+  not_found,
+  already_exists,
+  resource_exhausted,
+  unavailable,
+  timed_out,
+  cancelled,
+  internal,
+  // Verbs / RNIC analogues of ibv_wc_status.
+  local_length_error,      // IBV_WC_LOC_LEN_ERR
+  local_protection_error,  // IBV_WC_LOC_PROT_ERR
+  wr_flush_error,          // IBV_WC_WR_FLUSH_ERR
+  remote_access_error,     // IBV_WC_REM_ACCESS_ERR
+  remote_invalid_request,  // IBV_WC_REM_INV_REQ_ERR
+  rnr_retry_exceeded,      // IBV_WC_RNR_RETRY_EXC_ERR
+  transport_retry_exceeded,// IBV_WC_RETRY_EXC_ERR
+  remote_operation_error,  // IBV_WC_REM_OP_ERR
+  // Connection management.
+  connection_refused,
+  connection_reset,
+  peer_dead,               // raised by keepalive
+  // Middleware.
+  window_full,             // seq-ack window has no free slot
+  channel_closed,
+  payload_too_large,
+  bad_message,             // framing / header validation failed
+};
+
+std::string_view errc_name(Errc e);
+
+/// Minimal expected-like result carrier. Success stores T, failure an Errc.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Errc e) : v_(e) { assert(e != Errc::ok); }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  Errc error() const { return ok() ? Errc::ok : std::get<Errc>(v_); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Errc> v_;
+};
+
+}  // namespace xrdma

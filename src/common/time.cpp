@@ -1,0 +1,21 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace xrdma {
+
+std::string format_duration(Nanos t) {
+  char buf[48];
+  if (t < kNanosPerMicro) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  } else if (t < kNanosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_micros(t));
+  } else if (t < kNanosPerSec) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_millis(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(t));
+  }
+  return buf;
+}
+
+}  // namespace xrdma

@@ -1,0 +1,45 @@
+// Simulated-time primitives.
+//
+// All of X-RDMA's substrate runs on a deterministic discrete-event engine,
+// so time is a plain signed 64-bit nanosecond count rather than a
+// std::chrono clock. Helpers below build Nanos values from human units and
+// format them for logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xrdma {
+
+/// Simulated time point / duration, in nanoseconds since simulation start.
+using Nanos = std::int64_t;
+
+constexpr Nanos kNanosPerMicro = 1'000;
+constexpr Nanos kNanosPerMilli = 1'000'000;
+constexpr Nanos kNanosPerSec = 1'000'000'000;
+
+constexpr Nanos nanos(std::int64_t n) { return n; }
+constexpr Nanos micros(std::int64_t u) { return u * kNanosPerMicro; }
+constexpr Nanos millis(std::int64_t m) { return m * kNanosPerMilli; }
+constexpr Nanos seconds(std::int64_t s) { return s * kNanosPerSec; }
+
+constexpr double to_micros(Nanos t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerMicro);
+}
+constexpr double to_millis(Nanos t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerMilli);
+}
+constexpr double to_seconds(Nanos t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerSec);
+}
+
+/// "12.345ms" style rendering for logs and bench output.
+std::string format_duration(Nanos t);
+
+/// Time a given byte count occupies on a link of `gbps` gigabits/second.
+constexpr Nanos transmission_time(std::uint64_t bytes, double gbps) {
+  // bytes * 8 bits / (gbps * 1e9 bits/s) seconds -> ns
+  return static_cast<Nanos>(static_cast<double>(bytes) * 8.0 / gbps);
+}
+
+}  // namespace xrdma

@@ -1,0 +1,59 @@
+// Table I of the paper, verbatim: the eight xrdma_* entry points, as thin
+// free-function veneers over Context/Channel. C++ callers normally use the
+// object API directly; this exists so code reads like the paper's listings
+// (see examples/ and the api tests).
+//
+//   xrdma_send_msg      common routine of sending message to remote
+//   xrdma_polling       polling the context to check events/messages
+//   xrdma_get_event_fd  get the xrdma fd to do select/poll/epoll
+//   xrdma_(de)reg_mem   register/deregister RDMA-enabled memory
+//   xrdma_set_flag      dynamic changing configurations
+//   xrdma_process_event handle event notified by fd
+//   xrdma_trace_req     trace information of the request message
+// plus the Fig. 5 workflow entry points xrdma_listen / xrdma_connect.
+#pragma once
+
+#include "core/context.hpp"
+
+namespace xrdma::core {
+
+inline Errc xrdma_send_msg(Channel& channel, Buffer payload) {
+  return channel.send_msg(std::move(payload));
+}
+
+inline int xrdma_polling(Context& ctx, int budget = 64) {
+  return ctx.polling(budget);
+}
+
+inline int xrdma_get_event_fd(Context& ctx) { return ctx.get_event_fd(); }
+
+inline MemBlock xrdma_reg_mem(Context& ctx, std::uint32_t len) {
+  return ctx.reg_mem(len);
+}
+
+inline void xrdma_dereg_mem(Context& ctx, const MemBlock& block) {
+  ctx.dereg_mem(block);
+}
+
+inline Errc xrdma_set_flag(Context& ctx, const std::string& name,
+                           std::int64_t value) {
+  return ctx.set_flag(name, value);
+}
+
+inline int xrdma_process_event(Context& ctx) { return ctx.process_event(); }
+
+inline TraceReport xrdma_trace_req(Context& ctx, const Msg& msg) {
+  return ctx.trace_request(msg);
+}
+
+inline Errc xrdma_listen(Context& ctx, std::uint16_t port,
+                         Context::ChannelHandler on_channel) {
+  return ctx.listen(port, std::move(on_channel));
+}
+
+inline void xrdma_connect(Context& ctx, net::NodeId node, std::uint16_t port,
+                          Context::ConnectCallback cb) {
+  ctx.connect(node, port, std::move(cb));
+}
+
+}  // namespace xrdma::core

@@ -1,0 +1,622 @@
+#include "core/channel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "core/context.hpp"
+
+namespace xrdma::core {
+
+Channel::Channel(Context& ctx, verbs::Qp qp, net::NodeId peer,
+                 std::uint64_t id, std::uint32_t send_depth)
+    : ctx_(ctx),
+      qp_(std::move(qp)),
+      peer_(peer),
+      id_(id),
+      swin_(send_depth),
+      rwin_(ctx.config().window_depth) {
+  keepalive_timer_ = std::make_unique<sim::DeadlineTimer>(
+      ctx_.engine(), [this] { keepalive_fire(); });
+}
+
+Channel::~Channel() {
+  // Normal teardown happens through close()/fail(); this is the context
+  // destructor path.
+  if (state_ == State::established || state_ == State::closing) {
+    state_ = State::closed;
+    release_qp(/*recycle=*/false);
+  }
+}
+
+void Channel::init_established() {
+  const Nanos now = ctx_.engine().now();
+  last_tx_ = last_rx_ = last_alive_ = now;
+  const Config& cfg = ctx_.config();
+  if (!cfg.use_srq) {
+    // Pre-post bounce buffers: the whole receive window plus control slack
+    // (standalone ACKs, NOPs, FIN). The sender's window bound plus this
+    // pre-posting is what makes the protocol RNR-free (§V-B).
+    const std::uint32_t count = 2 * cfg.window_depth + 8;
+    const std::uint32_t size =
+        WireHeader::kBareSize + WireHeader::kTraceSize + cfg.small_msg_size;
+    bounce_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      MemBlock block = ctx_.ctrl_cache_.alloc(size);
+      if (!block.valid()) break;
+      bounce_.push_back(block);
+      qp_.post_recv({.wr_id = i, .sge = {block.addr, size, block.lkey}});
+    }
+  }
+  keepalive_timer_->arm_after(cfg.keepalive_intv);
+}
+
+// ---------------------------------------------------------------------------
+// TX path.
+
+Errc Channel::send_msg(Buffer payload) {
+  return enqueue(0, 0, std::move(payload), MemBlock{});
+}
+
+Errc Channel::send_msg(const MemBlock& block, std::uint32_t len) {
+  Buffer view = Buffer::synthetic(len);  // length carrier; bytes live in block
+  return enqueue(0, 0, std::move(view), block);
+}
+
+Errc Channel::call(Buffer request, RpcCallback cb, Nanos timeout) {
+  const std::uint64_t rpc_id = next_rpc_id_++;
+  PendingCall pc;
+  pc.cb = std::move(cb);
+  pc.t_start = ctx_.engine().now();
+  pc.deadline = timeout > 0 ? ctx_.engine().now() + timeout : 0;
+  const Errc rc = enqueue(kFlagRpcReq, rpc_id, std::move(request), MemBlock{});
+  if (rc != Errc::ok) return rc;
+  calls_[rpc_id] = std::move(pc);
+  ++stats_.rpc_calls;
+  return Errc::ok;
+}
+
+Errc Channel::reply(std::uint64_t rpc_id, Buffer response) {
+  return enqueue(kFlagRpcRsp, rpc_id, std::move(response), MemBlock{});
+}
+
+Errc Channel::enqueue(std::uint16_t flags, std::uint64_t rpc_id,
+                      Buffer payload, MemBlock zc_block) {
+  if (state_ != State::established) return Errc::channel_closed;
+  PendingSend p;
+  p.flags = flags;
+  p.rpc_id = rpc_id;
+  p.payload = std::move(payload);
+  p.zc_block = zc_block;
+  if (swin_.full() || !pending_tx_.empty()) ++stats_.window_stalls;
+  pending_tx_.push_back(std::move(p));
+  pump_tx();
+  return Errc::ok;
+}
+
+void Channel::pump_tx() {
+  while (!pending_tx_.empty() && !swin_.full() &&
+         state_ == State::established) {
+    PendingSend p = std::move(pending_tx_.front());
+    pending_tx_.pop_front();
+    emit_data(std::move(p));
+  }
+}
+
+void Channel::emit_data(PendingSend&& p) {
+  const Config& cfg = ctx_.config();
+  const Nanos now = ctx_.engine().now();
+  const std::uint32_t len = static_cast<std::uint32_t>(p.payload.size());
+  const bool large =
+      !tx_override_ && (len > cfg.small_msg_size || p.zc_block.valid());
+
+  TxEntry entry;
+  entry.t_queued = now;
+  const auto seq_opt = swin_.push(std::move(entry));
+  // pump_tx guarantees space.
+  const Seq seq = *seq_opt;
+  TxEntry* ent = swin_.find(seq);
+
+  WireHeader hdr;
+  hdr.flags = p.flags | (large ? kFlagLarge : 0);
+  hdr.seq = seq;
+  hdr.ack = rwin_.ack_to_send();
+  rwin_.note_ack_sent();
+  hdr.rpc_id = p.rpc_id;
+  hdr.payload_len = len;
+
+  // Tracing: req-rsp mode traces everything; bare-data mode samples by
+  // trace_sample_mask (0 = off).
+  const bool traced =
+      cfg.reqrsp_mode ||
+      (cfg.trace_sample_mask != 0 && (seq & cfg.trace_sample_mask) == 0);
+  if (traced) {
+    hdr.flags |= kFlagTraced;
+    hdr.t_send = ctx_.local_time();
+    hdr.trace_id = (id_ << 24) ^ seq;
+  }
+  ent->flags = hdr.flags;
+
+  ++stats_.msgs_tx;
+  stats_.bytes_tx += len;
+  last_tx_ = now;
+
+  if (tx_override_) {
+    // Mock transport: whole message inline over the alternate stream.
+    Buffer wire = Buffer::make(hdr.wire_size() + len);
+    hdr.encode(wire.data());
+    if (len > 0 && p.payload.data()) {
+      std::memcpy(wire.data() + hdr.wire_size(), p.payload.data(), len);
+    }
+    ++stats_.mock_tx;
+    tx_override_(std::move(wire));
+    return;
+  }
+
+  if (!large) {
+    MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size() + len);
+    if (!block.valid()) {
+      fail(Errc::resource_exhausted);
+      return;
+    }
+    std::uint8_t* dst = ctx_.ctrl_cache_.data(block);
+    hdr.encode(dst);
+    if (len > 0 && p.payload.data()) {
+      std::memcpy(dst + hdr.wire_size(), p.payload.data(), len);
+    }
+    ent->wire_block = block;
+    post_wire(block, hdr.wire_size() + len);
+    return;
+  }
+
+  // Rendezvous: park the payload in registered memory and send only the
+  // descriptor; the receiver pulls with RDMA Read (§IV-C).
+  ++stats_.large_msgs_tx;
+  MemBlock payload_block = p.zc_block;
+  if (!payload_block.valid()) {
+    payload_block = ctx_.data_cache_.alloc(len);
+    if (!payload_block.valid()) {
+      fail(Errc::resource_exhausted);
+      return;
+    }
+    if (std::uint8_t* dst = ctx_.data_cache_.data(payload_block);
+        dst && p.payload.data()) {
+      std::memcpy(dst, p.payload.data(), len);
+    }
+  }
+  hdr.rv_addr = payload_block.addr;
+  hdr.rv_rkey = payload_block.rkey;
+
+  MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size());
+  if (!block.valid()) {
+    ctx_.data_cache_.free(payload_block);
+    fail(Errc::resource_exhausted);
+    return;
+  }
+  hdr.encode(ctx_.ctrl_cache_.data(block));
+  ent->wire_block = block;
+  ent->payload_block = payload_block;
+  post_wire(block, hdr.wire_size());
+}
+
+void Channel::post_wire(MemBlock block, std::uint32_t len) {
+  const Config& cfg = ctx_.config();
+  verbs::SendWr wr;
+  wr.wr_id = ctx_.register_wr(
+      {Context::WrInfo::Kind::data_send, id_, 0, 0, MemBlock{}, false});
+  wr.opcode = verbs::Opcode::send_imm;  // imm carries the ACK low bits (§V-B)
+  wr.imm = static_cast<std::uint32_t>(rwin_.last_ack_sent());
+  wr.local = {block.addr, len, block.lkey};
+  // Software send-path cost (plus the tracing tax in req-rsp mode).
+  Nanos cost = cfg.send_path_overhead;
+  if (cfg.reqrsp_mode) cost += cfg.trace_overhead;
+  const std::uint64_t chan_id = id_;
+  ctx_.engine().schedule_after(cost, [ctx = &ctx_, chan_id, wr] {
+    if (Channel* ch = ctx->channel_by_id(chan_id);
+        ch && ch->state_ != State::closed && ch->state_ != State::error) {
+      ctx->post_or_queue(*ch, wr);
+    }
+  });
+}
+
+void Channel::post_control(std::uint16_t flags) {
+  if (state_ == State::closed || state_ == State::error) return;
+  WireHeader hdr;
+  hdr.flags = flags;
+  hdr.ack = rwin_.ack_to_send();
+  rwin_.note_ack_sent();
+
+  if (flags & kFlagAckOnly) {
+    ack_inflight_ = true;
+    ++stats_.acks_tx;
+  }
+  if (flags & kFlagNop) {
+    nop_inflight_ = true;
+    ++stats_.nops_tx;
+  }
+  last_tx_ = ctx_.engine().now();
+
+  if (tx_override_) {
+    Buffer wire = Buffer::make(hdr.wire_size());
+    hdr.encode(wire.data());
+    tx_override_(std::move(wire));
+    on_send_wc_control(flags);  // no WC will come back
+    return;
+  }
+
+  MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size());
+  if (!block.valid()) return;
+  hdr.encode(ctx_.ctrl_cache_.data(block));
+
+  verbs::SendWr wr;
+  wr.wr_id = ctx_.register_wr(
+      {Context::WrInfo::Kind::ctrl_send, id_, 0, flags, block, false});
+  wr.opcode = verbs::Opcode::send_imm;
+  wr.imm = static_cast<std::uint32_t>(rwin_.last_ack_sent());
+  wr.local = {block.addr, hdr.wire_size(), block.lkey};
+  // Control bypasses the flow-control queue: it is tiny and carries the
+  // acks that unblock everything else.
+  if (qp_.post_send(wr) != Errc::ok) {
+    ctx_.release_wr(wr.wr_id);
+    ctx_.ctrl_cache_.free(block);
+  }
+}
+
+void Channel::on_send_wc_control(std::uint16_t flags) {
+  if (flags & kFlagAckOnly) ack_inflight_ = false;
+  if (flags & kFlagNop) nop_inflight_ = false;
+  if ((flags & kFlagFin) && state_ == State::closing) {
+    state_ = State::closed;
+    release_qp(/*recycle=*/true);
+    ctx_.channel_closed(*this);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RX path.
+
+void Channel::on_recv_wc(const verbs::Wc& wc) {
+  if (wc.status != Errc::ok) return;  // flush during teardown
+  if (wc.wr_id >= bounce_.size()) return;
+  const MemBlock& block = bounce_[static_cast<std::size_t>(wc.wr_id)];
+  const std::uint8_t* bytes = ctx_.ctrl_cache_.data(block);
+  if (bytes) process_wire(bytes, wc.byte_len);
+  // Re-arm the bounce buffer immediately (run-to-complete), keeping the
+  // receive queue topped up — the other half of RNR-freedom.
+  if (state_ == State::established || state_ == State::closing) {
+    const std::uint32_t size =
+        WireHeader::kBareSize + WireHeader::kTraceSize +
+        ctx_.config().small_msg_size;
+    qp_.post_recv({.wr_id = wc.wr_id, .sge = {block.addr, size, block.lkey}});
+  }
+}
+
+void Channel::on_alt_rx(const std::uint8_t* data, std::uint32_t len) {
+  process_wire(data, len);
+}
+
+void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
+  if (state_ == State::closed || state_ == State::error) return;
+  WireHeader hdr;
+  if (!WireHeader::decode(bytes, len, hdr)) {
+    ++stats_.bad_messages;
+    return;
+  }
+
+  // Fault injection (Filter, §VI-C).
+  if (ctx_.filter_) {
+    const auto decision = ctx_.filter_(*this, hdr);
+    if (decision.action == Context::FilterAction::drop) {
+      ++stats_.filtered_drops;
+      return;
+    }
+    if (decision.action == Context::FilterAction::delay) {
+      Buffer copy = Buffer::make(len);
+      std::memcpy(copy.data(), bytes, len);
+      const std::uint64_t chan_id = id_;
+      ctx_.engine().schedule_after(
+          decision.delay, [ctx = &ctx_, chan_id, copy]() {
+            if (Channel* ch = ctx->channel_by_id(chan_id)) {
+              // Re-entry bypasses the filter (consume the decision once).
+              auto saved = std::move(ctx->filter_);
+              ch->process_wire(copy.data(),
+                               static_cast<std::uint32_t>(copy.size()));
+              ctx->filter_ = std::move(saved);
+            }
+          });
+      return;
+    }
+  }
+
+  last_rx_ = ctx_.engine().now();
+
+  // Piggybacked cumulative ack (Algorithm 1 sender RECV_MESSAGE).
+  swin_.process_ack(hdr.ack, [this](Seq, TxEntry& e) { free_tx_entry(e); });
+  pump_tx();
+
+  if (hdr.has(kFlagAckOnly)) {
+    ++stats_.acks_rx;
+    return;
+  }
+  if (hdr.has(kFlagNop)) {
+    ++stats_.nops_rx;
+    return;
+  }
+  if (hdr.has(kFlagFin)) {
+    state_ = State::closed;
+    release_qp(/*recycle=*/true);
+    ctx_.channel_closed(*this);
+    if (on_error_) on_error_(*this, Errc::channel_closed);
+    return;
+  }
+
+  handle_data(hdr, bytes, len);
+  maybe_standalone_ack();
+}
+
+void Channel::handle_data(const WireHeader& hdr, const std::uint8_t* bytes,
+                          std::uint32_t len) {
+  RxState* rx = rwin_.arrive(hdr.seq);
+  if (!rx) {
+    // Duplicate or out-of-window: RC delivery makes this a protocol bug.
+    ++stats_.bad_messages;
+    return;
+  }
+  rx->hdr = hdr;
+  rx->t_arrive = ctx_.engine().now();
+  ++stats_.msgs_rx;
+  stats_.bytes_rx += hdr.payload_len;
+
+  if (!hdr.has(kFlagLarge)) {
+    if (hdr.payload_len > 0) {
+      rx->payload = Buffer::make(hdr.payload_len);
+      if (hdr.wire_size() + hdr.payload_len <= len) {
+        std::memcpy(rx->payload.data(), bytes + hdr.wire_size(),
+                    hdr.payload_len);
+      }
+    }
+    rwin_.complete(hdr.seq, [this](Seq s, RxState& r) { deliver(s, r); });
+    return;
+  }
+  start_rendezvous_pull(hdr.seq, *rx);
+}
+
+void Channel::start_rendezvous_pull(Seq seq, RxState& rx) {
+  ++stats_.large_msgs_rx;
+  const std::uint32_t len = rx.hdr.payload_len;
+  if (len == 0) {
+    rwin_.complete(seq, [this](Seq s, RxState& r) { deliver(s, r); });
+    return;
+  }
+  rx.payload_block = ctx_.data_cache_.alloc(len);
+  if (!rx.payload_block.valid()) {
+    fail(Errc::resource_exhausted);
+    return;
+  }
+  // Fragmented pull (§V-C): moderate-size reads keep the RNIC preemptible;
+  // with flow control off this degenerates to one huge WR — the Fig. 10
+  // baseline.
+  const Config& cfg = ctx_.config();
+  const std::uint32_t frag = cfg.flowctl ? cfg.frag_size : len;
+  std::uint32_t off = 0;
+  std::uint32_t nfrags = 0;
+  while (off < len) {
+    const std::uint32_t n = std::min(frag, len - off);
+    verbs::SendWr wr;
+    wr.wr_id = ctx_.register_wr(
+        {Context::WrInfo::Kind::read_frag, id_, seq, 0, MemBlock{}, false});
+    wr.opcode = verbs::Opcode::read;
+    wr.local = {rx.payload_block.addr + off, n, rx.payload_block.lkey};
+    wr.remote_addr = rx.hdr.rv_addr + off;
+    wr.rkey = rx.hdr.rv_rkey;
+    ctx_.post_or_queue(*this, wr);
+    off += n;
+    ++nfrags;
+  }
+  rx.reads_left = nfrags;
+  stats_.reads_issued += nfrags;
+}
+
+void Channel::on_read_frag_done(Seq seq, Errc status) {
+  if (status != Errc::ok) {
+    fail(status);
+    return;
+  }
+  RxState* rx = rwin_.find(seq);
+  if (!rx || rx->reads_left == 0) return;
+  if (--rx->reads_left > 0) return;
+
+  const std::uint32_t len = rx->hdr.payload_len;
+  if (std::uint8_t* src = ctx_.data_cache_.data(rx->payload_block)) {
+    rx->payload = Buffer::make(len);
+    std::memcpy(rx->payload.data(), src, len);
+  } else {
+    rx->payload = Buffer::synthetic(len);
+  }
+  ctx_.data_cache_.free(rx->payload_block);
+  rx->payload_block = MemBlock{};
+  rwin_.complete(seq, [this](Seq s, RxState& r) { deliver(s, r); });
+}
+
+void Channel::deliver(Seq seq, RxState& rx) {
+  // Self-adaptive slow-operation logging (§VI-A method III): message
+  // assembly (arrival to delivery, i.e. the rendezvous pull) exceeding the
+  // threshold is recorded for the monitor to collect.
+  const Nanos assembly = ctx_.engine().now() - rx.t_arrive;
+  if (assembly > ctx_.config().slow_threshold) {
+    Logger::global().log(
+        ctx_.engine().now(), LogLevel::warn, "xr.channel",
+        strfmt("slow assembly: seq=%llu took %s (node %u <- %u)",
+               static_cast<unsigned long long>(seq),
+               format_duration(assembly).c_str(), ctx_.node(), peer_));
+  }
+  Msg msg;
+  msg.payload = std::move(rx.payload);
+  msg.seq = seq;
+  msg.rpc_id = rx.hdr.rpc_id;
+  msg.is_rpc_req = rx.hdr.has(kFlagRpcReq);
+  msg.is_rpc_rsp = rx.hdr.has(kFlagRpcRsp);
+  msg.traced = rx.hdr.has(kFlagTraced);
+  msg.t_send = rx.hdr.t_send;
+  msg.t_deliver = ctx_.local_time();
+  msg.trace_id = rx.hdr.trace_id;
+
+  if (msg.is_rpc_rsp) {
+    auto it = calls_.find(msg.rpc_id);
+    if (it == calls_.end()) return;  // late response after timeout
+    RpcCallback cb = std::move(it->second.cb);
+    ctx_.stats().rpc_latency.record(ctx_.engine().now() - it->second.t_start);
+    calls_.erase(it);
+    cb(std::move(msg));
+    return;
+  }
+  if (on_msg_) on_msg_(*this, std::move(msg));
+}
+
+void Channel::maybe_standalone_ack() {
+  if (state_ != State::established) return;
+  if (ack_inflight_) return;
+  // Ack after N completions — but never let a small peer window starve:
+  // once half the peer's in-flight budget is consumed, flush the ack even
+  // if N hasn't been reached (otherwise a one-way stream with a tiny
+  // window would only progress at NOP-scan pace).
+  const std::uint32_t threshold = std::min(
+      ctx_.config().ack_every, std::max<std::uint32_t>(1, swin_.depth() / 2));
+  if (rwin_.unacked() < threshold) return;
+  post_control(kFlagAckOnly);
+}
+
+// ---------------------------------------------------------------------------
+// Timers and teardown.
+
+void Channel::deadlock_tick() {
+  if (state_ != State::established) return;
+  // Progress check (Algorithm 1 TIME_OUT): if we hold unacknowledged
+  // deliveries and produced no traffic since the last scan, flush the ack
+  // with a NOP so the peer's window can advance.
+  const bool idle_since_scan = swin_.next_seq() == last_scan_tx_seq_ &&
+                               ctx_.engine().now() - last_tx_ >=
+                                   ctx_.config().deadlock_scan_period;
+  if (rwin_.unacked() > 0 && idle_since_scan && !nop_inflight_ &&
+      !ack_inflight_) {
+    post_control(kFlagNop);
+  }
+  last_scan_tx_seq_ = swin_.next_seq();
+}
+
+void Channel::rpc_timeout_scan() {
+  if (calls_.empty()) return;
+  const Nanos now = ctx_.engine().now();
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, pc] : calls_) {
+    if (pc.deadline > 0 && now >= pc.deadline) expired.push_back(id);
+  }
+  for (const std::uint64_t id : expired) {
+    auto it = calls_.find(id);
+    RpcCallback cb = std::move(it->second.cb);
+    calls_.erase(it);
+    ++stats_.rpc_timeouts;
+    cb(Errc::timed_out);
+  }
+}
+
+void Channel::keepalive_fire() {
+  if (state_ != State::established) return;
+  const Config& cfg = ctx_.config();
+  const Nanos now = ctx_.engine().now();
+  const Nanos idle = now - std::max(last_tx_, last_rx_);
+  if (idle < cfg.keepalive_intv) {
+    // Activity since the probe was armed: push the deadline out (lazy
+    // re-arm keeps the hot path free of timer churn).
+    keepalive_timer_->arm_after(cfg.keepalive_intv - idle);
+    return;
+  }
+  if (keepalive_outstanding_ && now - last_alive_ >= cfg.keepalive_timeout) {
+    fail(Errc::peer_dead);
+    return;
+  }
+  // Zero-byte RDMA Write: hardware-acked, costs the peer no CPU and no
+  // RDMA-enabled memory (§V-A).
+  verbs::SendWr wr;
+  wr.wr_id = ctx_.register_wr(
+      {Context::WrInfo::Kind::keepalive, id_, 0, 0, MemBlock{}, false});
+  wr.opcode = verbs::Opcode::write;
+  if (qp_.post_send(wr) == Errc::ok) {
+    ++stats_.keepalive_probes;
+    keepalive_outstanding_ = true;
+  } else {
+    ctx_.release_wr(wr.wr_id);
+  }
+  keepalive_timer_->arm_after(
+      std::min(cfg.keepalive_intv, cfg.keepalive_timeout / 2));
+}
+
+void Channel::on_keepalive_wc(Errc status) {
+  if (status == Errc::ok) {
+    keepalive_outstanding_ = false;
+    last_alive_ = ctx_.engine().now();
+  } else {
+    fail(Errc::peer_dead);
+  }
+}
+
+void Channel::on_qp_error(Errc reason) {
+  if (reason == Errc::transport_retry_exceeded) reason = Errc::peer_dead;
+  fail(reason);
+}
+
+void Channel::close() {
+  if (state_ != State::established) return;
+  state_ = State::closing;
+  fin_sent_ = true;
+  post_control(kFlagFin);
+}
+
+void Channel::fail(Errc reason) {
+  if (state_ == State::error || state_ == State::closed) return;
+  state_ = State::error;
+  keepalive_timer_->cancel();
+
+  // Fail outstanding RPCs.
+  auto calls = std::move(calls_);
+  calls_.clear();
+  for (auto& [id, pc] : calls) pc.cb(reason);
+
+  // Drop queued and in-flight sends.
+  pending_tx_.clear();
+  swin_.process_ack(swin_.next_seq(),
+                    [this](Seq, TxEntry& e) { free_tx_entry(e); });
+  rwin_.for_each_pending([this](Seq, RxState& r) {
+    if (r.payload_block.valid()) ctx_.data_cache_.free(r.payload_block);
+    r.payload_block = MemBlock{};
+  });
+
+  release_qp(/*recycle=*/true);
+  ++ctx_.stats().channel_errors;
+  ctx_.channel_closed(*this);
+  if (on_error_) on_error_(*this, reason);
+}
+
+void Channel::release_qp(bool recycle) {
+  keepalive_timer_->cancel();
+  for (const MemBlock& block : bounce_) ctx_.ctrl_cache_.free(block);
+  bounce_.clear();
+  if (!qp_.valid()) return;
+  if (recycle) {
+    // Immediate RESET + recycle (§IV-E): the next connection skips QP
+    // creation entirely.
+    const rnic::QpNum qpn = qp_.release();
+    ctx_.qp_cache_.put(qpn);
+  } else {
+    qp_.reset();
+  }
+}
+
+void Channel::free_tx_entry(TxEntry& e) {
+  if (e.wire_block.valid()) ctx_.ctrl_cache_.free(e.wire_block);
+  if (e.payload_block.valid()) ctx_.data_cache_.free(e.payload_block);
+  e.wire_block = MemBlock{};
+  e.payload_block = MemBlock{};
+}
+
+}  // namespace xrdma::core

@@ -1,0 +1,203 @@
+// Channel: one X-RDMA connection (§IV).
+//
+// A channel owns an RC queue pair and layers the paper's protocol
+// extensions over it:
+//   - seq-ack window (Algorithm 1) for application-level delivery
+//     acknowledgement and RNR-freedom: the sender never has more data
+//     messages outstanding than the window depth, and the receiver
+//     pre-posts bounce buffers for the whole window plus control slack;
+//   - mixed message model: eager SEND below small_msg_size, rendezvous
+//     descriptor + receiver-driven fragmented RDMA Read above it (the same
+//     pull path implements Read-replace-Write for RPC responses);
+//   - keepAlive: zero-byte RDMA Write probes after idle, answered by the
+//     peer RNIC in hardware; a dead peer surfaces as a QP error and the
+//     channel releases its resources instead of leaking them;
+//   - NOP deadlock-break and standalone ACKs (windowless control messages);
+//   - built-in RPC (request/response with id matching and timeouts).
+//
+// Everything runs run-to-complete inside Context::polling(); a channel is
+// owned by exactly one context/thread and takes no locks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "core/memcache.hpp"
+#include "core/msg.hpp"
+#include "core/stats.hpp"
+#include "core/window.hpp"
+#include "sim/timer.hpp"
+#include "verbs/verbs.hpp"
+
+namespace xrdma::core {
+
+class Context;
+
+class Channel {
+ public:
+  enum class State : std::uint8_t {
+    established,
+    closing,
+    closed,
+    error,
+  };
+
+  using MsgHandler = std::function<void(Channel&, Msg&&)>;
+  using ErrorHandler = std::function<void(Channel&, Errc)>;
+  using RpcCallback = std::function<void(Result<Msg>)>;
+
+  ~Channel();
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // --- Table I surface ----------------------------------------------------
+  /// One-way message. Queues when the window is full; fails when closed.
+  Errc send_msg(Buffer payload);
+  /// Zero-copy variant: `block` must come from this context's reg_mem();
+  /// ownership passes to the channel and it is freed once the peer acks.
+  Errc send_msg(const MemBlock& block, std::uint32_t len);
+
+  /// RPC: send a request, invoke `cb` with the response or an error.
+  Errc call(Buffer request, RpcCallback cb, Nanos timeout = millis(100));
+  /// Respond to a received request (Msg::rpc_id). Large responses go down
+  /// the rendezvous path, i.e. the requester RDMA-Reads them (§IV-C).
+  Errc reply(std::uint64_t rpc_id, Buffer response);
+
+  void set_on_msg(MsgHandler h) { on_msg_ = std::move(h); }
+  void set_on_error(ErrorHandler h) { on_error_ = std::move(h); }
+
+  /// Graceful close: FIN to the peer, QP recycled into the QP cache.
+  void close();
+
+  // --- Introspection --------------------------------------------------------
+  State state() const { return state_; }
+  bool usable() const { return state_ == State::established; }
+  net::NodeId peer_node() const { return peer_; }
+  std::uint64_t id() const { return id_; }
+  rnic::QpNum qp_num() const { return qp_.num(); }
+  rnic::QpNum peer_qp_num() const { return peer_qp_; }
+  Context& context() { return ctx_; }
+  const ChannelStats& stats() const { return stats_; }
+  Nanos last_tx_time() const { return last_tx_; }
+  Nanos last_rx_time() const { return last_rx_; }
+  std::size_t inflight_msgs() const { return swin_.inflight(); }
+  std::size_t queued_msgs() const { return pending_tx_.size(); }
+  Seq tx_seq() const { return swin_.next_seq(); }
+  Seq rx_rta() const { return rwin_.rta(); }
+
+  // --- Alternate transport (Mock, §VI-C) ------------------------------------
+  /// When set, encoded messages bypass the QP and go through this hook
+  /// (the TCP fallback). Large messages are forced inline.
+  void set_tx_override(std::function<Errc(Buffer)> f) {
+    tx_override_ = std::move(f);
+  }
+  bool mocked() const { return static_cast<bool>(tx_override_); }
+  /// Ingress for bytes arriving over the alternate transport (one whole
+  /// wire message per call).
+  void on_alt_rx(const std::uint8_t* data, std::uint32_t len);
+
+ private:
+  friend class Context;
+
+  struct PendingSend {
+    std::uint16_t flags = 0;
+    std::uint64_t rpc_id = 0;
+    Buffer payload;
+    MemBlock zc_block;  // zero-copy payload (valid() when used)
+  };
+
+  struct TxEntry {
+    MemBlock wire_block;     // the SEND bytes (header [+ inline payload])
+    MemBlock payload_block;  // rendezvous source (large messages)
+    Nanos t_queued = 0;
+    std::uint16_t flags = 0;
+  };
+
+  struct RxState {
+    WireHeader hdr;
+    Buffer payload;
+    MemBlock payload_block;   // rendezvous destination
+    std::uint32_t reads_left = 0;
+    Nanos t_arrive = 0;
+  };
+
+  /// `send_depth` is the negotiated in-flight depth (min of both sides'
+  /// window_depth, exchanged in the CM private data).
+  Channel(Context& ctx, verbs::Qp qp, net::NodeId peer, std::uint64_t id,
+          std::uint32_t send_depth);
+
+  void init_established();
+
+  // TX path.
+  Errc enqueue(std::uint16_t flags, std::uint64_t rpc_id, Buffer payload,
+               MemBlock zc_block);
+  void pump_tx();
+  void emit_data(PendingSend&& p);
+  void post_wire(MemBlock block, std::uint32_t len);
+  void post_control(std::uint16_t flags);
+
+  // RX path.
+  void on_recv_wc(const verbs::Wc& wc);
+  void process_wire(const std::uint8_t* bytes, std::uint32_t len);
+  void handle_data(const WireHeader& hdr, const std::uint8_t* bytes,
+                   std::uint32_t len);
+  void start_rendezvous_pull(Seq seq, RxState& rx);
+  void on_read_frag_done(Seq seq, Errc status);
+  void deliver(Seq seq, RxState& rx);
+  void maybe_standalone_ack();
+
+  // Control plumbing (driven by Context).
+  void on_send_wc_control(std::uint16_t flags);
+  void deadlock_tick();
+  void rpc_timeout_scan();
+  void keepalive_fire();
+  void on_keepalive_wc(Errc status);
+  void on_qp_error(Errc reason);
+  void fail(Errc reason);
+  void release_qp(bool recycle);
+  void free_tx_entry(TxEntry& e);
+
+  Context& ctx_;
+  verbs::Qp qp_;
+  net::NodeId peer_;
+  rnic::QpNum peer_qp_ = rnic::kInvalidId;
+  std::uint64_t id_;
+  State state_ = State::established;
+
+  SendWindow<TxEntry> swin_;
+  RecvWindow<RxState> rwin_;
+  std::deque<PendingSend> pending_tx_;
+  bool ack_inflight_ = false;
+  bool nop_inflight_ = false;
+  bool fin_sent_ = false;
+  Seq last_scan_tx_seq_ = 0;  // deadlock-scan progress marker
+
+  std::vector<MemBlock> bounce_;  // pre-posted receive buffers, wr_id = index
+
+  std::uint64_t next_rpc_id_ = 1;
+  struct PendingCall {
+    RpcCallback cb;
+    Nanos deadline = 0;
+    Nanos t_start = 0;
+  };
+  std::map<std::uint64_t, PendingCall> calls_;
+
+  std::unique_ptr<sim::DeadlineTimer> keepalive_timer_;
+  bool keepalive_outstanding_ = false;
+  Nanos last_alive_ = 0;  // last hardware-level proof the peer RNIC lives
+  Nanos last_tx_ = 0;
+  Nanos last_rx_ = 0;
+
+  std::function<Errc(Buffer)> tx_override_;
+
+  MsgHandler on_msg_;
+  ErrorHandler on_error_;
+  ChannelStats stats_;
+};
+
+}  // namespace xrdma::core

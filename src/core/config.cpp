@@ -1,0 +1,106 @@
+#include "core/config.hpp"
+
+namespace xrdma::core {
+
+namespace {
+struct OnlineParam {
+  std::function<std::int64_t(const Config&)> get;
+  std::function<void(Config&, std::int64_t)> set;
+};
+
+const std::map<std::string, OnlineParam>& online_params() {
+  static const std::map<std::string, OnlineParam> params = {
+      {"keepalive_intv_ms",
+       {[](const Config& c) { return c.keepalive_intv / kNanosPerMilli; },
+        [](Config& c, std::int64_t v) { c.keepalive_intv = millis(v); }}},
+      {"keepalive_timeout_ms",
+       {[](const Config& c) { return c.keepalive_timeout / kNanosPerMilli; },
+        [](Config& c, std::int64_t v) { c.keepalive_timeout = millis(v); }}},
+      {"slow_threshold_us",
+       {[](const Config& c) { return c.slow_threshold / kNanosPerMicro; },
+        [](Config& c, std::int64_t v) { c.slow_threshold = micros(v); }}},
+      {"polling_warn_cycle_us",
+       {[](const Config& c) { return c.polling_warn_cycle / kNanosPerMicro; },
+        [](Config& c, std::int64_t v) { c.polling_warn_cycle = micros(v); }}},
+      {"trace_sample_mask",
+       {[](const Config& c) { return std::int64_t{c.trace_sample_mask}; },
+        [](Config& c, std::int64_t v) {
+          c.trace_sample_mask = static_cast<std::uint32_t>(v);
+        }}},
+      {"reqrsp_mode",
+       {[](const Config& c) { return std::int64_t{c.reqrsp_mode}; },
+        [](Config& c, std::int64_t v) { c.reqrsp_mode = v != 0; }}},
+      {"flowctl",
+       {[](const Config& c) { return std::int64_t{c.flowctl}; },
+        [](Config& c, std::int64_t v) { c.flowctl = v != 0; }}},
+      {"frag_size",
+       {[](const Config& c) { return std::int64_t{c.frag_size}; },
+        [](Config& c, std::int64_t v) {
+          c.frag_size = static_cast<std::uint32_t>(v);
+        }}},
+      {"max_outstanding_wrs",
+       {[](const Config& c) { return std::int64_t{c.max_outstanding_wrs}; },
+        [](Config& c, std::int64_t v) {
+          c.max_outstanding_wrs = static_cast<std::uint32_t>(v);
+        }}},
+  };
+  return params;
+}
+
+// Offline keys are recognized (so callers get a precise error) but refused.
+const std::map<std::string, std::function<std::int64_t(const Config&)>>&
+offline_params() {
+  static const std::map<std::string, std::function<std::int64_t(const Config&)>>
+      params = {
+          {"use_srq", [](const Config& c) { return std::int64_t{c.use_srq}; }},
+          {"cq_size", [](const Config& c) { return std::int64_t{c.cq_size}; }},
+          {"srq_size", [](const Config& c) { return std::int64_t{c.srq_size}; }},
+          {"fork_safe",
+           [](const Config& c) { return std::int64_t{c.fork_safe}; }},
+          {"ibqp_alloc_type",
+           [](const Config& c) {
+             return static_cast<std::int64_t>(c.ibqp_alloc_type);
+           }},
+          {"small_msg_size",
+           [](const Config& c) { return std::int64_t{c.small_msg_size}; }},
+          {"window_depth",
+           [](const Config& c) { return std::int64_t{c.window_depth}; }},
+      };
+  return params;
+}
+}  // namespace
+
+ConfigRegistry::ConfigRegistry(Config& config) : config_(config) {}
+
+Errc ConfigRegistry::set_flag(const std::string& name, std::int64_t value) {
+  auto it = online_params().find(name);
+  if (it != online_params().end()) {
+    it->second.set(config_, value);
+    return Errc::ok;
+  }
+  if (offline_params().count(name)) return Errc::invalid_argument;
+  return Errc::not_found;
+}
+
+Result<std::int64_t> ConfigRegistry::get_flag(const std::string& name) const {
+  if (auto it = online_params().find(name); it != online_params().end()) {
+    return it->second.get(config_);
+  }
+  if (auto it = offline_params().find(name); it != offline_params().end()) {
+    return it->second(config_);
+  }
+  return Errc::not_found;
+}
+
+std::map<std::string, std::int64_t> ConfigRegistry::snapshot() const {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, param] : online_params()) {
+    out[name] = param.get(config_);
+  }
+  for (const auto& [name, get] : offline_params()) {
+    out[name] = get(config_);
+  }
+  return out;
+}
+
+}  // namespace xrdma::core

@@ -1,0 +1,84 @@
+// X-RDMA configuration (Table III) plus the tuning registry behind
+// xrdma_set_flag / XR-adm.
+//
+// "Online" parameters may change at runtime (set_flag); "offline" ones are
+// fixed once a context is created — set_flag refuses them, exactly the
+// split the paper draws.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace xrdma::core {
+
+enum class PollMode : std::uint8_t { busy, hybrid, event };
+enum class QpBufType : std::uint8_t { huge_page, anony_page, malloc_mem };
+
+struct Config {
+  // ---- Online (Table III) ----
+  Nanos keepalive_intv = millis(10);    // keepalive_intv_ms
+  Nanos keepalive_timeout = millis(40); // probes unanswered -> peer dead
+  Nanos slow_threshold = micros(100);   // log ops slower than this
+  Nanos polling_warn_cycle = millis(1); // gap between polls that trips a warn
+  std::uint32_t trace_sample_mask = 0;  // trace msg when (seq & mask) == 0
+
+  // ---- Offline (Table III) ----
+  bool use_srq = false;
+  std::uint32_t cq_size = 8192;
+  std::uint32_t srq_size = 4096;
+  bool fork_safe = false;               // kept for fidelity; no-op in sim
+  QpBufType ibqp_alloc_type = QpBufType::anony_page;
+  std::uint32_t small_msg_size = 4096;  // below: eager RDMA Send (§IV-C)
+
+  // ---- Protocol extensions ----
+  std::uint32_t window_depth = 64;      // in-flight messages per channel
+  std::uint32_t ack_every = 8;          // standalone ACK after N unacked
+  Nanos deadlock_scan_period = millis(1);
+  bool reqrsp_mode = false;             // bare-data vs req-rsp (tracing hdr)
+
+  // ---- Flow control (§V-C) ----
+  bool flowctl = true;
+  std::uint32_t frag_size = 64 * 1024;      // rendezvous read fragment
+  std::uint32_t max_outstanding_wrs = 16;   // queuing threshold N (per ctx)
+
+  // ---- Resource management ----
+  std::uint64_t memcache_mr_bytes = 4u << 20;
+  bool memcache_isolation = true;
+  bool memcache_real_memory = true;
+  Nanos memcache_shrink_period = millis(50);  // reclaim idle MRs (0 = never)
+  std::size_t qp_cache_capacity = 256;
+
+  // ---- Thread model ----
+  PollMode poll_mode = PollMode::hybrid;
+  Nanos busy_poll_interval = nanos(100);
+  std::uint32_t hybrid_idle_spins = 1000;   // busy polls before parking
+  Nanos event_wakeup_latency = nanos(1500); // epoll wake + context switch
+
+  // ---- Software path costs (calibrated; see EXPERIMENTS.md) ----
+  // Per-message cost of the X-RDMA send path (framing, window bookkeeping,
+  // WR posting). The receive path runs inline in polling() and its cost is
+  // carried by the RNIC rx model.
+  Nanos send_path_overhead = nanos(250);
+  Nanos trace_overhead = nanos(50);   // extra per message in req-rsp mode
+};
+
+/// Dynamic-tuning surface: string-keyed access to the *online* parameters.
+/// Returns invalid_argument for unknown or offline keys.
+class ConfigRegistry {
+ public:
+  explicit ConfigRegistry(Config& config);
+
+  Errc set_flag(const std::string& name, std::int64_t value);
+  Result<std::int64_t> get_flag(const std::string& name) const;
+  std::map<std::string, std::int64_t> snapshot() const;
+
+ private:
+  Config& config_;
+};
+
+}  // namespace xrdma::core

@@ -1,0 +1,415 @@
+#include "core/context.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace xrdma::core {
+
+namespace {
+constexpr std::uint32_t kHandshakeMagic = 0x5852434d;  // "XRCM"
+
+Buffer encode_handshake(std::uint32_t window_depth) {
+  Buffer b = Buffer::make(8);
+  std::memcpy(b.data(), &kHandshakeMagic, 4);
+  std::memcpy(b.data() + 4, &window_depth, 4);
+  return b;
+}
+
+std::uint32_t decode_handshake(const Buffer& b, std::uint32_t fallback) {
+  if (b.size() < 8 || !b.data()) return fallback;
+  std::uint32_t magic = 0, depth = 0;
+  std::memcpy(&magic, b.data(), 4);
+  std::memcpy(&depth, b.data() + 4, 4);
+  return magic == kHandshakeMagic && depth > 0 ? depth : fallback;
+}
+}  // namespace
+
+Context::Context(rnic::Rnic& nic, verbs::cm::CmService& cm, Config config)
+    : nic_(nic),
+      cm_(cm),
+      cfg_(config),
+      registry_(cfg_),
+      pd_(nic),
+      send_cq_(pd_.create_cq(cfg_.cq_size)),
+      recv_cq_(pd_.create_cq(cfg_.cq_size)),
+      ctrl_cache_(nic, MemCacheConfig{.mr_bytes = cfg_.memcache_mr_bytes,
+                                      .isolation = cfg_.memcache_isolation,
+                                      .real_memory = true}),
+      data_cache_(nic, MemCacheConfig{.mr_bytes = cfg_.memcache_mr_bytes,
+                                      .isolation = cfg_.memcache_isolation,
+                                      .real_memory = cfg_.memcache_real_memory}),
+      qp_cache_(nic, cfg_.qp_cache_capacity),
+      scan_timer_(nic.engine(), cfg_.deadlock_scan_period,
+                  [this] { scan_tick(); }),
+      event_fd_(nic.engine(), static_cast<int>(nic.node()) * 1000 + 3,
+                cfg_.event_wakeup_latency),
+      event_fd_id_(static_cast<int>(nic.node()) * 1000 + 3) {
+  if (cfg_.use_srq) {
+    srq_ = nic_.create_srq(cfg_.srq_size);
+    const std::uint32_t size =
+        WireHeader::kBareSize + WireHeader::kTraceSize + cfg_.small_msg_size;
+    srq_bounce_.reserve(cfg_.srq_size);
+    for (std::uint32_t i = 0; i < cfg_.srq_size; ++i) {
+      MemBlock block = ctrl_cache_.alloc(size);
+      if (!block.valid()) break;
+      srq_bounce_.push_back(block);
+      nic_.post_srq_recv(srq_,
+                         {.wr_id = i, .sge = {block.addr, size, block.lkey}});
+    }
+  }
+  nic_.add_qp_error_handler([this](rnic::QpNum qpn, Errc reason) {
+    auto it = by_qp_.find(qpn);
+    if (it != by_qp_.end()) it->second->on_qp_error(reason);
+  });
+  scan_timer_.start();
+}
+
+Context::~Context() {
+  scan_timer_.stop();
+  for (const MemBlock& block : srq_bounce_) ctrl_cache_.free(block);
+}
+
+// ---------------------------------------------------------------------------
+// Connection management.
+
+Errc Context::listen(std::uint16_t port, ChannelHandler on_channel) {
+  if (listeners_.count(port)) return Errc::already_exists;
+  PortListener& entry = listeners_[port];
+  entry.on_channel = std::move(on_channel);
+  entry.listener = std::make_unique<verbs::cm::Listener>(
+      cm_, nic_, port,
+      /*make_spec=*/
+      [this] {
+        verbs::cm::AcceptSpec spec;
+        spec.send_cq = send_cq_.id();
+        spec.recv_cq = recv_cq_.id();
+        spec.caps = qp_caps();
+        spec.srq = srq_;
+        return spec;
+      },
+      /*make_private_data=*/
+      [this](const Buffer&) { return encode_handshake(cfg_.window_depth); },
+      /*on_accept=*/
+      [this, port](verbs::cm::Established est) {
+        Channel* ch = adopt_established(std::move(est));
+        auto it = listeners_.find(port);
+        if (ch && it != listeners_.end() && it->second.on_channel) {
+          it->second.on_channel(*ch);
+        }
+      });
+  entry.listener->set_qp_supplier([this] { return qp_cache_.take(); });
+  return Errc::ok;
+}
+
+void Context::connect(net::NodeId node, std::uint16_t port,
+                      ConnectCallback cb) {
+  verbs::cm::ConnectOptions opts;
+  opts.send_cq = send_cq_.id();
+  opts.recv_cq = recv_cq_.id();
+  opts.caps = qp_caps();
+  opts.srq = srq_;
+  opts.private_data = encode_handshake(cfg_.window_depth);
+  opts.reuse_qp = qp_cache_.take();
+  cm_.connect(nic_, node, port, std::move(opts),
+              [this, cb = std::move(cb)](Result<verbs::cm::Established> r) {
+                if (!r.ok()) {
+                  cb(r.error());
+                  return;
+                }
+                Channel* ch = adopt_established(std::move(r.value()));
+                if (!ch) {
+                  cb(Errc::internal);
+                  return;
+                }
+                cb(ch);
+              });
+}
+
+rnic::QpCaps Context::qp_caps() const {
+  rnic::QpCaps caps;
+  caps.max_send_wr = cfg_.window_depth + cfg_.max_outstanding_wrs + 32;
+  caps.max_recv_wr = 2 * cfg_.window_depth + 8;
+  return caps;
+}
+
+Channel* Context::adopt_established(verbs::cm::Established est) {
+  const std::uint32_t peer_depth =
+      decode_handshake(est.private_data, cfg_.window_depth);
+  const std::uint32_t send_depth = std::min(peer_depth, cfg_.window_depth);
+  const std::uint64_t id = next_channel_id_++;
+  auto ch = std::unique_ptr<Channel>(
+      new Channel(*this, std::move(est.qp), est.peer_node, id, send_depth));
+  ch->peer_qp_ = est.peer_qp;
+  Channel* raw = ch.get();
+  channels_.push_back(std::move(ch));
+  by_qp_[raw->qp_num()] = raw;
+  by_id_[id] = raw;
+  ++stats_.channels_opened;
+  raw->init_established();
+  return raw;
+}
+
+void Context::channel_closed(Channel& ch) {
+  by_qp_.erase(ch.qp_num());
+  ++stats_.channels_closed;
+  // The object stays alive (the application may hold a pointer); only the
+  // routing entries go away. by_id_ survives for in-flight callbacks.
+}
+
+Channel* Context::channel_by_id(std::uint64_t id) {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<Channel*> Context::channels() {
+  std::vector<Channel*> out;
+  out.reserve(channels_.size());
+  for (auto& ch : channels_) out.push_back(ch.get());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Work-request registry and flow control.
+
+std::uint64_t Context::register_wr(WrInfo info) {
+  const std::uint64_t id = next_wr_++;
+  wrs_[id] = std::move(info);
+  return id;
+}
+
+void Context::post_or_queue(Channel& ch, verbs::SendWr wr) {
+  if (cfg_.flowctl && outstanding_wrs_ >= cfg_.max_outstanding_wrs) {
+    // Queuing (§V-C): buffer the WR instead of letting the send queue and
+    // the fabric absorb a burst.
+    ++ch.stats_.flowctl_queued;
+    deferred_wrs_.push_back({ch.id(), wr});
+    return;
+  }
+  auto it = wrs_.find(wr.wr_id);
+  if (it != wrs_.end()) it->second.counted = true;
+  ++outstanding_wrs_;
+  const Errc rc = ch.qp_.post_send(wr);
+  if (rc == Errc::resource_exhausted) {
+    // NIC send queue full: defer, keep the registry entry, retry on the
+    // next completion.
+    --outstanding_wrs_;
+    if (it != wrs_.end()) it->second.counted = false;
+    deferred_wrs_.push_front({ch.id(), wr});
+  } else if (rc != Errc::ok) {
+    --outstanding_wrs_;
+    wrs_.erase(wr.wr_id);
+    ch.fail(rc);
+  }
+}
+
+void Context::wr_completed() {
+  if (outstanding_wrs_ > 0) --outstanding_wrs_;
+  while (!deferred_wrs_.empty() &&
+         (!cfg_.flowctl || outstanding_wrs_ < cfg_.max_outstanding_wrs)) {
+    DeferredWr d = std::move(deferred_wrs_.front());
+    deferred_wrs_.pop_front();
+    Channel* ch = channel_by_id(d.channel_id);
+    if (!ch || !ch->usable()) {
+      wrs_.erase(d.wr.wr_id);
+      continue;
+    }
+    auto it = wrs_.find(d.wr.wr_id);
+    if (it != wrs_.end()) it->second.counted = true;
+    ++outstanding_wrs_;
+    if (ch->qp_.post_send(d.wr) != Errc::ok) {
+      --outstanding_wrs_;
+      wrs_.erase(d.wr.wr_id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Polling.
+
+int Context::polling(int budget) {
+  const Nanos now = engine().now();
+  ++stats_.polls;
+  if (last_poll_ >= 0) {
+    const Nanos gap = now - last_poll_;
+    stats_.worst_poll_gap = std::max(stats_.worst_poll_gap, gap);
+    if (gap > cfg_.polling_warn_cycle) {
+      ++stats_.slow_polls;
+      Logger::global().log(now, LogLevel::warn, "xr.polling",
+                           strfmt("slow poll: %s gap on node %u",
+                                  format_duration(gap).c_str(), node()));
+    }
+  }
+  last_poll_ = now;
+
+  int processed = 0;
+  verbs::Wc wcs[32];
+  while (processed < budget) {
+    const int n = send_cq_.poll(
+        wcs, std::min<int>(32, budget - processed));
+    if (n <= 0) break;
+    for (int i = 0; i < n; ++i) dispatch_send_wc(wcs[i]);
+    processed += n;
+  }
+  while (processed < budget) {
+    const int n = recv_cq_.poll(
+        wcs, std::min<int>(32, budget - processed));
+    if (n <= 0) break;
+    for (int i = 0; i < n; ++i) dispatch_recv_wc(wcs[i]);
+    processed += n;
+  }
+  if (processed == 0) ++stats_.empty_polls;
+  stats_.events_processed += static_cast<std::uint64_t>(processed);
+  return processed;
+}
+
+void Context::dispatch_send_wc(const verbs::Wc& wc) {
+  auto it = wrs_.find(wc.wr_id);
+  if (it == wrs_.end()) return;
+  WrInfo info = std::move(it->second);
+  wrs_.erase(it);
+  if (info.counted) wr_completed();
+
+  Channel* ch = channel_by_id(info.channel_id);
+  switch (info.kind) {
+    case WrInfo::Kind::data_send:
+      if (wc.status != Errc::ok && ch) ch->fail(wc.status);
+      break;
+    case WrInfo::Kind::ctrl_send:
+      if (info.block.valid()) ctrl_cache_.free(info.block);
+      if (ch) {
+        if (wc.status != Errc::ok) {
+          ch->fail(wc.status);
+        } else {
+          ch->on_send_wc_control(info.flags);
+        }
+      }
+      break;
+    case WrInfo::Kind::read_frag:
+      if (ch) ch->on_read_frag_done(info.seq, wc.status);
+      break;
+    case WrInfo::Kind::keepalive:
+      if (ch) ch->on_keepalive_wc(wc.status);
+      break;
+  }
+}
+
+void Context::dispatch_recv_wc(const verbs::Wc& wc) {
+  auto it = by_qp_.find(wc.qp_num);
+  if (it == by_qp_.end()) return;
+  Channel* ch = it->second;
+
+  if (cfg_.use_srq) {
+    if (wc.status != Errc::ok) return;
+    if (wc.wr_id >= srq_bounce_.size()) return;
+    const MemBlock& block = srq_bounce_[static_cast<std::size_t>(wc.wr_id)];
+    if (const std::uint8_t* bytes = ctrl_cache_.data(block)) {
+      ch->process_wire(bytes, wc.byte_len);
+    }
+    const std::uint32_t size =
+        WireHeader::kBareSize + WireHeader::kTraceSize + cfg_.small_msg_size;
+    nic_.post_srq_recv(srq_,
+                       {.wr_id = wc.wr_id,
+                        .sge = {block.addr, size, block.lkey}});
+    return;
+  }
+  ch->on_recv_wc(wc);
+}
+
+int Context::process_event() {
+  event_fd_.clear();
+  return polling();
+}
+
+// ---------------------------------------------------------------------------
+// Polling loop (thread model, §IV-B).
+
+void Context::start_polling_loop() {
+  if (loop_running_) return;
+  loop_running_ = true;
+  idle_spins_ = 0;
+  engine().schedule_after(0, [this] { poll_loop_step(); });
+}
+
+void Context::stop_polling_loop() { loop_running_ = false; }
+
+void Context::poll_loop_step() {
+  if (!loop_running_) return;
+  const int n = polling();
+  switch (cfg_.poll_mode) {
+    case PollMode::busy:
+      engine().schedule_after(cfg_.busy_poll_interval,
+                              [this] { poll_loop_step(); });
+      return;
+    case PollMode::hybrid:
+      if (n > 0) {
+        idle_spins_ = 0;
+      } else if (++idle_spins_ >= cfg_.hybrid_idle_spins) {
+        idle_spins_ = 0;
+        park();
+        return;
+      }
+      engine().schedule_after(cfg_.busy_poll_interval,
+                              [this] { poll_loop_step(); });
+      return;
+    case PollMode::event:
+      if (n > 0) {
+        engine().schedule_after(cfg_.busy_poll_interval,
+                                [this] { poll_loop_step(); });
+      } else {
+        park();
+      }
+      return;
+  }
+}
+
+void Context::park() {
+  ++stats_.parks;
+  parked_ = true;
+  event_fd_.clear();
+  auto wake = [this] { event_fd_.set_ready(); };
+  send_cq_.arm(wake);
+  recv_cq_.arm(wake);
+  event_fd_.wait([this] {
+    if (!loop_running_) return;
+    parked_ = false;
+    ++stats_.wakeups;
+    poll_loop_step();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Housekeeping.
+
+void Context::scan_tick() {
+  for (auto& ch : channels_) {
+    ch->deadlock_tick();
+    ch->rpc_timeout_scan();
+  }
+  // Periodically reclaim idle memory-cache MRs (§IV-E: "if the resource
+  // utilization becomes lower, it will shrink its capacity").
+  if (cfg_.memcache_shrink_period > 0 &&
+      engine().now() - last_shrink_ >= cfg_.memcache_shrink_period) {
+    last_shrink_ = engine().now();
+    ctrl_cache_.shrink();
+    data_cache_.shrink();
+  }
+}
+
+TraceReport Context::trace_request(const Msg& msg) const {
+  TraceReport report;
+  report.traced = msg.traced;
+  if (!msg.traced) return report;
+  report.t_send = msg.t_send;
+  report.t_deliver = msg.t_deliver;
+  report.clock_offset = clock_offset_estimate_;
+  // t_send is on the sender's clock, t_deliver on ours; adding the
+  // peer-ahead-of-us offset recovers the true one-way time (§VI-A's
+  // T2 - T1 - Toff with Toff = local - peer).
+  report.network_latency = msg.t_deliver - msg.t_send + clock_offset_estimate_;
+  report.trace_id = msg.trace_id;
+  return report;
+}
+
+}  // namespace xrdma::core

@@ -1,0 +1,218 @@
+// Context: the per-thread X-RDMA instance (§IV).
+//
+// Owns the thread's CQs, the memory cache, the QP cache, the timers, and
+// every channel the thread opened or accepted — the run-to-complete thread
+// model: no resource here is ever touched by another thread, so the data
+// plane is lock-free, atomic-free, and syscall-free by construction (in
+// the simulation, "thread" = the simulation actor driving polling()).
+//
+// Public surface follows Table I:
+//   send_msg    -> Channel::send_msg / call / reply
+//   polling     -> Context::polling
+//   get_event_fd / process_event -> Context::event_fd / process_event
+//   (de)reg_mem -> Context::reg_mem / dereg_mem
+//   set_flag    -> Context::set_flag
+//   trace_request -> Context::trace_request
+// plus connect/listen from the Fig. 5 workflow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "core/channel.hpp"
+#include "core/config.hpp"
+#include "core/fd.hpp"
+#include "core/memcache.hpp"
+#include "core/qp_cache.hpp"
+#include "core/stats.hpp"
+#include "sim/timer.hpp"
+#include "verbs/cm.hpp"
+#include "verbs/verbs.hpp"
+
+namespace xrdma::core {
+
+/// What xrdma_trace_req returns for a traced message (§VI-A method I).
+struct TraceReport {
+  bool traced = false;
+  Nanos t_send = 0;         // sender clock
+  Nanos t_deliver = 0;      // local clock
+  Nanos clock_offset = 0;   // Toff estimate in use
+  Nanos network_latency = 0;  // t_deliver - t_send - Toff
+  std::uint64_t trace_id = 0;
+};
+
+class Context {
+ public:
+  using ChannelHandler = std::function<void(Channel&)>;
+  using ConnectCallback = std::function<void(Result<Channel*>)>;
+
+  Context(rnic::Rnic& nic, verbs::cm::CmService& cm, Config config = {});
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // --- Connection management (Fig. 5 workflow) -----------------------------
+  Errc listen(std::uint16_t port, ChannelHandler on_channel);
+  void connect(net::NodeId node, std::uint16_t port, ConnectCallback cb);
+
+  // --- Table I ---------------------------------------------------------------
+  /// Drains both CQs, dispatching completions to channels; returns the
+  /// number of completions processed. The application's poll loop calls
+  /// this (or start_polling_loop drives it).
+  int polling(int budget = 64);
+
+  EventFd& event_fd() { return event_fd_; }
+  int get_event_fd() const { return event_fd_id_; }
+  /// Handle an event-fd notification: clear it, poll, re-arm.
+  int process_event();
+
+  /// RDMA-enabled memory for zero-copy sends (xrdma_reg_mem).
+  MemBlock reg_mem(std::uint32_t len) { return data_cache_.alloc(len); }
+  void dereg_mem(const MemBlock& block) { data_cache_.free(block); }
+  std::uint8_t* mem_ptr(const MemBlock& block) { return data_cache_.data(block); }
+
+  Errc set_flag(const std::string& name, std::int64_t value) {
+    return registry_.set_flag(name, value);
+  }
+  Result<std::int64_t> get_flag(const std::string& name) const {
+    return registry_.get_flag(name);
+  }
+  ConfigRegistry& config_registry() { return registry_; }
+
+  TraceReport trace_request(const Msg& msg) const;
+
+  // --- Thread model ----------------------------------------------------------
+  /// Drives polling() according to Config::poll_mode (busy / hybrid /
+  /// event) until stop_polling_loop().
+  void start_polling_loop();
+  void stop_polling_loop();
+  bool polling_loop_running() const { return loop_running_; }
+
+  // --- Introspection ---------------------------------------------------------
+  Config& config() { return cfg_; }
+  const Config& config() const { return cfg_; }
+  rnic::Rnic& nic() { return nic_; }
+  sim::Engine& engine() const { return nic_.engine(); }
+  net::NodeId node() const { return nic_.node(); }
+  ContextStats& stats() { return stats_; }
+  MemCache& ctrl_cache() { return ctrl_cache_; }
+  MemCache& data_cache() { return data_cache_; }
+  QpCache& qp_cache() { return qp_cache_; }
+  std::vector<Channel*> channels();
+  std::size_t num_channels() const { return by_qp_.size(); }
+
+  /// Host clock model: local_time() = sim time + this host's clock skew.
+  /// The clock-sync service estimates the peer offset used by tracing.
+  void set_clock_skew(Nanos skew) { clock_skew_ = skew; }
+  Nanos local_time() const { return engine().now() + clock_skew_; }
+  /// Toff estimate: how far the *peer's* clock runs ahead of ours
+  /// (peer_clock - local_clock). trace_request adds it to correct one-way
+  /// latencies; the clock-sync service measures it.
+  void set_peer_clock_offset(Nanos toff) { clock_offset_estimate_ = toff; }
+  Nanos peer_clock_offset() const { return clock_offset_estimate_; }
+
+  /// Fault injection hook (Filter, §VI-C): consulted on message ingress.
+  enum class FilterAction { pass, drop, delay };
+  struct FilterDecision {
+    FilterAction action = FilterAction::pass;
+    Nanos delay = 0;
+  };
+  using FilterHook = std::function<FilterDecision(Channel&, const WireHeader&)>;
+  void set_filter(FilterHook hook) { filter_ = std::move(hook); }
+
+ private:
+  friend class Channel;
+
+  // Work-request registry: send-CQ completions carry a wr_id minted here.
+  struct WrInfo {
+    enum class Kind : std::uint8_t {
+      data_send,   // windowed message SEND
+      ctrl_send,   // ack / nop / fin
+      read_frag,   // rendezvous pull fragment
+      keepalive,   // zero-byte write probe
+    };
+    Kind kind = Kind::data_send;
+    std::uint64_t channel_id = 0;
+    Seq seq = 0;               // read_frag: message being pulled
+    std::uint16_t flags = 0;   // ctrl_send
+    MemBlock block;            // ctrl_send: freed when the WC arrives
+    bool counted = false;      // holds a flow-control credit
+  };
+
+  std::uint64_t register_wr(WrInfo info);
+  void release_wr(std::uint64_t wr_id) { wrs_.erase(wr_id); }
+  void dispatch_send_wc(const verbs::Wc& wc);
+  void dispatch_recv_wc(const verbs::Wc& wc);
+  Channel* channel_by_id(std::uint64_t id);
+  rnic::QpCaps qp_caps() const;
+
+  // Flow control (§V-C queuing): bounded outstanding WRs, excess queued.
+  struct DeferredWr {
+    std::uint64_t channel_id = 0;
+    verbs::SendWr wr;
+  };
+  void post_or_queue(Channel& ch, verbs::SendWr wr);
+  void wr_completed();
+
+  // Channel lifecycle.
+  Channel* adopt_established(verbs::cm::Established est);
+  void channel_closed(Channel& ch);
+
+  void scan_tick();  // deadlock NOPs, RPC timeouts
+  void poll_loop_step();
+  void park();
+
+  rnic::Rnic& nic_;
+  verbs::cm::CmService& cm_;
+  Config cfg_;
+  ConfigRegistry registry_;
+
+  verbs::Pd pd_;
+  verbs::Cq send_cq_;
+  verbs::Cq recv_cq_;
+  rnic::SrqId srq_ = rnic::kInvalidId;
+
+  MemCache ctrl_cache_;  // headers + bounce buffers (always real memory)
+  MemCache data_cache_;  // large payloads (may be synthetic in benches)
+  QpCache qp_cache_;
+  std::vector<MemBlock> srq_bounce_;  // SRQ mode: shared bounce buffers
+
+  std::list<std::unique_ptr<Channel>> channels_;
+  std::unordered_map<rnic::QpNum, Channel*> by_qp_;
+  std::unordered_map<std::uint64_t, Channel*> by_id_;
+  std::uint64_t next_channel_id_ = 1;
+
+  struct PortListener {
+    std::unique_ptr<verbs::cm::Listener> listener;
+    ChannelHandler on_channel;
+  };
+  std::map<std::uint16_t, PortListener> listeners_;
+
+  std::unordered_map<std::uint64_t, WrInfo> wrs_;
+  std::uint64_t next_wr_ = 1;
+
+  std::uint32_t outstanding_wrs_ = 0;
+  std::deque<DeferredWr> deferred_wrs_;
+
+  sim::PeriodicTimer scan_timer_;
+  EventFd event_fd_;
+  int event_fd_id_;
+
+  Nanos last_poll_ = -1;
+  bool loop_running_ = false;
+  bool parked_ = false;
+  std::uint32_t idle_spins_ = 0;
+
+  Nanos clock_skew_ = 0;
+  Nanos clock_offset_estimate_ = 0;
+  Nanos last_shrink_ = 0;
+
+  FilterHook filter_;
+  ContextStats stats_;
+};
+
+}  // namespace xrdma::core

@@ -1,0 +1,145 @@
+#include "core/memcache.hpp"
+
+#include <cstring>
+
+namespace xrdma::core {
+
+namespace {
+constexpr std::uint8_t kCanary = 0xa5;
+}
+
+MemCache::MemCache(rnic::Rnic& nic, MemCacheConfig config)
+    : nic_(nic), cfg_(config) {
+  for (std::size_t i = 0; i < cfg_.min_mrs; ++i) grow();
+}
+
+MemCache::~MemCache() {
+  for (auto& region : mrs_) nic_.dereg_mr(region.info.lkey);
+}
+
+MemCache::Region* MemCache::grow() {
+  if (mrs_.size() >= cfg_.max_mrs) return nullptr;
+  Region region;
+  region.info = nic_.reg_mr(cfg_.mr_bytes, cfg_.real_memory);
+  region.free_ranges[0] = cfg_.mr_bytes;
+  mrs_.push_back(std::move(region));
+  ++stats_.grow_events;
+  stats_.occupied_bytes += cfg_.mr_bytes;
+  return &mrs_.back();
+}
+
+MemBlock MemCache::alloc(std::uint32_t len) {
+  ++stats_.alloc_calls;
+  const std::uint32_t need = padded(len);
+  if (need > cfg_.mr_bytes) {
+    ++stats_.failed_allocs;
+    return {};
+  }
+  auto carve = [&](Region& region) -> MemBlock {
+    for (auto it = region.free_ranges.begin(); it != region.free_ranges.end();
+         ++it) {
+      if (it->second < need) continue;
+      const std::uint64_t offset = it->first;
+      const std::uint64_t remaining = it->second - need;
+      region.free_ranges.erase(it);
+      if (remaining > 0) region.free_ranges[offset + need] = remaining;
+      region.used += need;
+      stats_.in_use_bytes += need;
+      MemBlock block;
+      block.addr = region.info.addr + offset +
+                   (cfg_.isolation ? cfg_.guard_bytes : 0);
+      block.len = len;
+      block.lkey = region.info.lkey;
+      block.rkey = region.info.rkey;
+      if (cfg_.isolation) write_guards(region, offset, len);
+      return block;
+    }
+    return {};
+  };
+
+  for (auto& region : mrs_) {
+    MemBlock b = carve(region);
+    if (b.valid()) return b;
+  }
+  Region* fresh = grow();
+  if (fresh) {
+    MemBlock b = carve(*fresh);
+    if (b.valid()) return b;
+  }
+  ++stats_.failed_allocs;
+  return {};
+}
+
+void MemCache::free(const MemBlock& block) {
+  ++stats_.free_calls;
+  for (auto& region : mrs_) {
+    if (region.info.lkey != block.lkey) continue;
+    const std::uint64_t guard = cfg_.isolation ? cfg_.guard_bytes : 0;
+    const std::uint64_t offset = block.addr - region.info.addr - guard;
+    const std::uint32_t need = padded(block.len);
+    if (cfg_.isolation && !check_guards(region, offset, block.len)) {
+      ++stats_.guard_violations;
+      if (on_violation_) on_violation_(block);
+    }
+    // Coalescing insert.
+    auto [it, inserted] = region.free_ranges.emplace(offset, need);
+    (void)inserted;
+    if (it != region.free_ranges.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second == it->first) {
+        prev->second += it->second;
+        region.free_ranges.erase(it);
+        it = prev;
+      }
+    }
+    auto next = std::next(it);
+    if (next != region.free_ranges.end() &&
+        it->first + it->second == next->first) {
+      it->second += next->second;
+      region.free_ranges.erase(next);
+    }
+    region.used -= need;
+    stats_.in_use_bytes -= need;
+    return;
+  }
+}
+
+std::uint8_t* MemCache::data(const MemBlock& block, std::uint32_t offset) {
+  return nic_.mr_ptr(block.addr + offset, block.len - offset);
+}
+
+void MemCache::write_guards(Region& region, std::uint64_t offset,
+                            std::uint32_t len) {
+  if (!cfg_.real_memory) return;
+  std::uint8_t* base = nic_.mr_ptr(region.info.addr + offset, padded(len));
+  if (!base) return;
+  std::memset(base, kCanary, cfg_.guard_bytes);
+  std::memset(base + cfg_.guard_bytes + len, kCanary, cfg_.guard_bytes);
+}
+
+bool MemCache::check_guards(Region& region, std::uint64_t offset,
+                            std::uint32_t len) {
+  if (!cfg_.real_memory) return true;
+  std::uint8_t* base = nic_.mr_ptr(region.info.addr + offset, padded(len));
+  if (!base) return true;
+  for (std::uint32_t i = 0; i < cfg_.guard_bytes; ++i) {
+    if (base[i] != kCanary) return false;
+    if (base[cfg_.guard_bytes + len + i] != kCanary) return false;
+  }
+  return true;
+}
+
+void MemCache::shrink() {
+  for (auto it = mrs_.begin(); it != mrs_.end() && mrs_.size() > cfg_.min_mrs;) {
+    if (it->used == 0) {
+      nic_.dereg_mr(it->info.lkey);
+      stats_.occupied_bytes -= cfg_.mr_bytes;
+      ++stats_.shrink_events;
+      it = mrs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace xrdma::core

@@ -1,0 +1,65 @@
+#include "core/msg.hpp"
+
+namespace xrdma::core {
+
+namespace {
+template <typename T>
+void put(std::uint8_t*& p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+  p += sizeof(T);
+}
+template <typename T>
+void get(const std::uint8_t*& p, T& v) {
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+}
+}  // namespace
+
+void WireHeader::encode(std::uint8_t* dst) const {
+  std::uint8_t* p = dst;
+  put(p, kMagic);
+  put(p, version);
+  put(p, flags);
+  put(p, payload_len);
+  put(p, seq);
+  put(p, ack);
+  put(p, rpc_id);
+  put(p, rv_addr);
+  put(p, rv_rkey);
+  // Pad the bare header to kBareSize.
+  const std::uint32_t used = static_cast<std::uint32_t>(p - dst);
+  std::memset(p, 0, kBareSize - used);
+  p = dst + kBareSize;
+  if (has(kFlagTraced)) {
+    put(p, t_send);
+    put(p, trace_id);
+    std::memset(p, 0, kTraceSize - 16);
+  }
+}
+
+bool WireHeader::decode(const std::uint8_t* src, std::uint32_t len,
+                        WireHeader& out) {
+  if (len < kBareSize) return false;
+  const std::uint8_t* p = src;
+  std::uint32_t magic = 0;
+  get(p, magic);
+  if (magic != kMagic) return false;
+  get(p, out.version);
+  if (out.version != 1) return false;
+  get(p, out.flags);
+  get(p, out.payload_len);
+  get(p, out.seq);
+  get(p, out.ack);
+  get(p, out.rpc_id);
+  get(p, out.rv_addr);
+  get(p, out.rv_rkey);
+  if (out.has(kFlagTraced)) {
+    if (len < kBareSize + kTraceSize) return false;
+    p = src + kBareSize;
+    get(p, out.t_send);
+    get(p, out.trace_id);
+  }
+  return true;
+}
+
+}  // namespace xrdma::core

@@ -1,0 +1,78 @@
+// X-RDMA message framing.
+//
+// Every message travels as one RDMA SEND whose payload begins with a
+// WireHeader. Small messages (§IV-C) inline their payload after the
+// header; large messages carry a rendezvous descriptor (source address /
+// rkey / length) instead, and the receiver pulls the payload with
+// fragmented RDMA Reads — the receiver-driven counterpart of the paper's
+// buffer-preparation phase, and the same mechanism that implements
+// Read-replace-Write for RPC responses.
+//
+// In req-rsp (tracing) mode a trace block rides in the header; bare-data
+// mode skips those bytes, which is the 2-4% overhead gap of §VII-A.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+
+namespace xrdma::core {
+
+enum MsgFlags : std::uint16_t {
+  kFlagLarge = 1 << 0,     // rendezvous descriptor, not inline payload
+  kFlagRpcReq = 1 << 1,
+  kFlagRpcRsp = 1 << 2,
+  kFlagAckOnly = 1 << 3,   // standalone ACK (windowless)
+  kFlagNop = 1 << 4,       // deadlock-break NOP (windowless)
+  kFlagFin = 1 << 5,       // graceful close
+  kFlagTraced = 1 << 6,    // trace block present and valid
+};
+
+struct WireHeader {
+  static constexpr std::uint32_t kMagic = 0x58524d41;  // "XRMA"
+  static constexpr std::uint32_t kBareSize = 64;
+  static constexpr std::uint32_t kTraceSize = 32;
+
+  std::uint16_t version = 1;
+  std::uint16_t flags = 0;
+  std::uint32_t payload_len = 0;  // inline bytes, or total length if kFlagLarge
+  std::uint64_t seq = 0;          // valid for windowed (data) messages
+  std::uint64_t ack = 0;          // piggybacked cumulative ack (always valid)
+  std::uint64_t rpc_id = 0;
+  // Rendezvous source descriptor (kFlagLarge).
+  std::uint64_t rv_addr = 0;
+  std::uint32_t rv_rkey = 0;
+  // Trace block (kFlagTraced).
+  std::int64_t t_send = 0;    // sender clock at send_msg time
+  std::uint64_t trace_id = 0;
+
+  bool is_data() const { return (flags & (kFlagAckOnly | kFlagNop)) == 0; }
+  bool has(MsgFlags f) const { return (flags & f) != 0; }
+
+  std::uint32_t wire_size() const {
+    return kBareSize + (has(kFlagTraced) ? kTraceSize : 0);
+  }
+
+  /// Serializes into `dst` (must hold wire_size() bytes).
+  void encode(std::uint8_t* dst) const;
+  /// Returns false on bad magic/version/length.
+  static bool decode(const std::uint8_t* src, std::uint32_t len,
+                     WireHeader& out);
+};
+
+/// A received message as handed to the application.
+struct Msg {
+  Buffer payload;
+  std::uint64_t seq = 0;
+  std::uint64_t rpc_id = 0;
+  bool is_rpc_req = false;
+  bool is_rpc_rsp = false;
+  bool traced = false;
+  Nanos t_send = 0;      // sender's stamp (traced messages)
+  Nanos t_deliver = 0;   // local delivery time
+  std::uint64_t trace_id = 0;
+};
+
+}  // namespace xrdma::core

@@ -1,0 +1,69 @@
+// QP cache (§IV-E): recycled RESET-state queue pairs.
+//
+// Destroying a connection releases its QP here instead of freeing it;
+// the next connect skips QP creation entirely — the paper measures the
+// establishment path dropping from 3946 us to 2451 us.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "rnic/rnic.hpp"
+
+namespace xrdma::core {
+
+class QpCache {
+ public:
+  QpCache(rnic::Rnic& nic, std::size_t capacity)
+      : nic_(nic), capacity_(capacity) {}
+  ~QpCache() { clear(); }
+  QpCache(const QpCache&) = delete;
+  QpCache& operator=(const QpCache&) = delete;
+
+  /// Pop a cached QP (already in RESET) if available.
+  std::optional<rnic::QpNum> take() {
+    if (cached_.empty()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    const rnic::QpNum qpn = cached_.front();
+    cached_.pop_front();
+    return qpn;
+  }
+
+  /// Recycle a QP: reset it and keep it for the next connection. Beyond
+  /// capacity the QP is destroyed instead.
+  void put(rnic::QpNum qpn) {
+    rnic::QpAttr reset;
+    reset.state = rnic::QpState::reset;
+    if (nic_.modify_qp(qpn, reset) != Errc::ok) {
+      nic_.destroy_qp(qpn);
+      return;
+    }
+    if (cached_.size() >= capacity_) {
+      nic_.destroy_qp(qpn);
+      return;
+    }
+    cached_.push_back(qpn);
+  }
+
+  void clear() {
+    for (const rnic::QpNum qpn : cached_) nic_.destroy_qp(qpn);
+    cached_.clear();
+  }
+
+  std::size_t size() const { return cached_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  rnic::Rnic& nic_;
+  std::size_t capacity_;
+  std::deque<rnic::QpNum> cached_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace xrdma::core

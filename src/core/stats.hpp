@@ -1,0 +1,48 @@
+// Statistic component: the per-channel and per-context counters XR-Stat
+// exposes (§VI-B) and the monitor aggregates.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/time.hpp"
+
+namespace xrdma::core {
+
+struct ChannelStats {
+  std::uint64_t msgs_tx = 0;
+  std::uint64_t msgs_rx = 0;
+  std::uint64_t bytes_tx = 0;  // payload bytes
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t large_msgs_tx = 0;
+  std::uint64_t large_msgs_rx = 0;
+  std::uint64_t acks_tx = 0;  // standalone ACK messages
+  std::uint64_t acks_rx = 0;
+  std::uint64_t nops_tx = 0;
+  std::uint64_t nops_rx = 0;
+  std::uint64_t keepalive_probes = 0;
+  std::uint64_t window_stalls = 0;  // send_msg had to queue (window full)
+  std::uint64_t flowctl_queued = 0; // WRs deferred by the queuing policy
+  std::uint64_t reads_issued = 0;   // rendezvous pull fragments
+  std::uint64_t rpc_calls = 0;
+  std::uint64_t rpc_timeouts = 0;
+  std::uint64_t bad_messages = 0;   // framing / protocol anomalies
+  std::uint64_t filtered_drops = 0; // fault-injection drops
+  std::uint64_t mock_tx = 0;        // messages sent over the TCP fallback
+};
+
+struct ContextStats {
+  std::uint64_t polls = 0;
+  std::uint64_t empty_polls = 0;
+  std::uint64_t slow_polls = 0;  // poll gap exceeded polling_warn_cycle
+  Nanos worst_poll_gap = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t parks = 0;       // hybrid poller switched to event mode
+  std::uint64_t wakeups = 0;
+  std::uint64_t channels_opened = 0;
+  std::uint64_t channels_closed = 0;
+  std::uint64_t channel_errors = 0;
+  Histogram rpc_latency;  // ns, across all channels
+};
+
+}  // namespace xrdma::core

@@ -1,0 +1,41 @@
+// Wire-level packet model.
+//
+// The fabric moves opaque packets between host endpoints; the RNIC and TCP
+// models attach their protocol payloads via PayloadBase. Sizes are wire
+// bytes (payload + per-packet header overhead), which is what link
+// serialization and switch buffering account in.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/time.hpp"
+
+namespace xrdma::net {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// RoCE traffic runs in the lossless class (PFC-protected); TCP and other
+/// best-effort traffic in the lossy class.
+enum class TrafficClass : std::uint8_t { lossless = 0, lossy = 1 };
+constexpr int kNumClasses = 2;
+
+struct PayloadBase {
+  virtual ~PayloadBase() = default;
+};
+using PayloadPtr = std::shared_ptr<const PayloadBase>;
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t wire_bytes = 0;  // includes header overhead
+  TrafficClass tclass = TrafficClass::lossless;
+  bool ecn_capable = true;
+  bool ecn_ce = false;  // congestion-experienced mark, set by switches
+  std::uint64_t flow = 0;  // ECMP hash input
+  Nanos sent_at = 0;       // stamped by the fabric on first transmission
+  PayloadPtr payload;
+};
+
+}  // namespace xrdma::net

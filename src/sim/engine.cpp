@@ -1,0 +1,64 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace xrdma::sim {
+
+Engine::EventId Engine::schedule_at(Nanos at, Callback cb) {
+  assert(cb);
+  if (at < now_) at = now_;  // never schedule into the past
+  auto node = std::make_shared<EventId::Node>(
+      EventId::Node{at, next_seq_++, std::move(cb)});
+  queue_.push(node);
+  ++live_;
+  return EventId{std::weak_ptr<EventId::Node>(node)};
+}
+
+bool Engine::cancel(EventId& id) {
+  auto node = id.node_.lock();
+  id.node_.reset();
+  if (!node || !node->cb) return false;
+  node->cb = nullptr;  // fire() skips empty callbacks
+  --live_;
+  return true;
+}
+
+void Engine::fire(NodePtr node) {
+  if (!node->cb) return;  // cancelled
+  now_ = node->at;
+  --live_;
+  ++processed_;
+  Callback cb = std::move(node->cb);
+  node->cb = nullptr;
+  cb();
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    NodePtr node = queue_.top();
+    queue_.pop();
+    if (!node->cb) continue;  // skip cancelled
+    fire(std::move(node));
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Engine::run_until(Nanos t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top()->at <= t) {
+    NodePtr node = queue_.top();
+    queue_.pop();
+    if (!node->cb) continue;
+    fire(std::move(node));
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace xrdma::sim

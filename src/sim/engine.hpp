@@ -1,0 +1,89 @@
+// Deterministic discrete-event engine.
+//
+// All substrates (fabric, RNIC model, TCP model) and all middleware timing
+// run on this single-threaded engine. Events at equal timestamps fire in
+// schedule order (a monotone sequence number breaks ties), so a given seed
+// always produces bit-identical results — the property every experiment in
+// EXPERIMENTS.md relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace xrdma::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Handle for cancellation. Default-constructed handles are inert.
+  class EventId {
+   public:
+    EventId() = default;
+    bool armed() const { return !node_.expired(); }
+
+   private:
+    friend class Engine;
+    struct Node;
+    explicit EventId(std::weak_ptr<Node> n) : node_(std::move(n)) {}
+    std::weak_ptr<Node> node_;
+  };
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Nanos now() const { return now_; }
+
+  EventId schedule_at(Nanos at, Callback cb);
+  EventId schedule_after(Nanos delay, Callback cb) {
+    return schedule_at(now_ + delay, cb ? std::move(cb) : Callback{});
+  }
+
+  /// Returns true if the event existed and had not fired.
+  bool cancel(EventId& id);
+
+  /// Run until the event queue drains (or stop() is called).
+  void run();
+  /// Run all events with timestamp <= t, then set now() = t.
+  void run_until(Nanos t);
+  void run_for(Nanos d) { run_until(now_ + d); }
+  /// Fire the single next event; returns false if queue empty.
+  bool step();
+  /// Stop the current run()/run_until() after the in-flight callback.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending() const { return live_; }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct EventId::Node {
+    Nanos at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  using NodePtr = std::shared_ptr<EventId::Node>;
+
+  struct Later {
+    bool operator()(const NodePtr& a, const NodePtr& b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  void fire(NodePtr node);
+
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;  // scheduled and not yet fired/cancelled
+  bool stopped_ = false;
+  std::priority_queue<NodePtr, std::vector<NodePtr>, Later> queue_;
+};
+
+}  // namespace xrdma::sim

@@ -1,0 +1,80 @@
+// Minimal coroutine support for writing application-level simulation code
+// (examples, workloads, tests) in straight-line style:
+//
+//   sim::Task client(sim::Engine& eng, xr::Channel& ch) {
+//     co_await sim::sleep(eng, micros(10));
+//     ...
+//   }
+//
+// Tasks are eagerly-started, detached coroutines; the frame lives until the
+// body finishes. The library's own data plane stays callback-based — these
+// exist for readable workload scripts.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace xrdma::sim {
+
+struct Task {
+  struct promise_type {
+    Task get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+/// Awaitable sleep.
+struct SleepAwaiter {
+  Engine& engine;
+  Nanos delay;
+
+  bool await_ready() const noexcept { return delay <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine.schedule_after(delay, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+inline SleepAwaiter sleep(Engine& engine, Nanos delay) {
+  return {engine, delay};
+}
+
+/// One-shot completion a callback can fulfil; co_await yields the value.
+/// The awaiting coroutine frame must keep the Completion alive (declare it
+/// as a local before handing `&completion` to the callback).
+template <typename T>
+class Completion {
+ public:
+  void complete(T value) {
+    value_ = std::move(value);
+    if (waiter_) {
+      auto w = std::exchange(waiter_, nullptr);
+      w.resume();
+    }
+  }
+
+  bool done() const { return value_.has_value(); }
+
+  auto operator co_await() {
+    struct Awaiter {
+      Completion& c;
+      bool await_ready() const noexcept { return c.value_.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) { c.waiter_ = h; }
+      T await_resume() { return std::move(*c.value_); }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  std::optional<T> value_;
+  std::coroutine_handle<> waiter_ = nullptr;
+};
+
+}  // namespace xrdma::sim

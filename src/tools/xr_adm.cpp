@@ -1,0 +1,30 @@
+#include "tools/xr_adm.hpp"
+
+namespace xrdma::tools {
+
+void XrAdm::set_all(const std::string& name, std::int64_t value,
+                    std::function<void(AdmResult)> done) {
+  engine_.schedule_after(delay_, [this, name, value, done = std::move(done)] {
+    AdmResult result;
+    for (core::Context* ctx : fleet_) {
+      if (ctx->set_flag(name, value) == Errc::ok) {
+        ++result.applied;
+      } else {
+        ++result.rejected;
+      }
+    }
+    if (done) done(result);
+  });
+}
+
+std::map<net::NodeId, std::int64_t> XrAdm::collect(
+    const std::string& name) const {
+  std::map<net::NodeId, std::int64_t> out;
+  for (core::Context* ctx : fleet_) {
+    auto v = ctx->get_flag(name);
+    if (v.ok()) out[ctx->node()] = v.value();
+  }
+  return out;
+}
+
+}  // namespace xrdma::tools

@@ -1,0 +1,150 @@
+#include "tools/xr_perf.hpp"
+
+#include "common/logging.hpp"
+
+namespace xrdma::tools {
+
+std::string PerfReport::summary() const {
+  return strfmt(
+      "ops=%llu errs=%llu dur=%s rate=%.2fKops goodput=%.2fGbps lat{%s}",
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(errors),
+      format_duration(duration).c_str(), achieved_kops, achieved_gbps,
+      latency.summary().c_str());
+}
+
+void perf_echo_responder(core::Channel& channel) {
+  channel.set_on_msg([](core::Channel& ch, core::Msg&& m) {
+    if (m.is_rpc_req) {
+      // Echo the payload back (response size == request size).
+      ch.reply(m.rpc_id, std::move(m.payload));
+    }
+  });
+}
+
+namespace {
+struct PerfState {
+  PerfOptions opts;
+  PerfReport report;
+  Rng rng;
+  Nanos started = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t payload_bytes = 0;
+  std::function<void(PerfReport)> done;
+
+  explicit PerfState(PerfOptions o) : opts(o), rng(o.seed) {}
+
+  std::uint32_t next_size() {
+    switch (opts.model) {
+      case FlowModel::pingpong:
+      case FlowModel::stream:
+      case FlowModel::mice:
+        return opts.msg_size;
+      case FlowModel::elephant:
+        return opts.large_size;
+      case FlowModel::mixed:
+        return rng.chance(opts.mice_fraction) ? opts.msg_size
+                                              : opts.large_size;
+    }
+    return opts.msg_size;
+  }
+
+  void finish(core::Context& ctx) {
+    report.duration = ctx.engine().now() - started;
+    if (report.duration > 0) {
+      report.achieved_gbps = static_cast<double>(payload_bytes) * 8.0 /
+                             static_cast<double>(report.duration);
+      report.achieved_kops = static_cast<double>(report.completed) * 1e6 /
+                             static_cast<double>(report.duration);
+    }
+    if (done) done(std::move(report));
+  }
+};
+
+void issue_pingpong(std::shared_ptr<PerfState> st, core::Channel& ch);
+
+void pingpong_complete(std::shared_ptr<PerfState> st, core::Channel& ch,
+                       Nanos t0, Result<core::Msg> r) {
+  if (r.ok()) {
+    ++st->report.completed;
+    st->report.latency.record(ch.context().engine().now() - t0);
+  } else {
+    ++st->report.errors;
+  }
+  if (st->issued < st->opts.total_msgs) {
+    issue_pingpong(st, ch);
+  } else {
+    st->finish(ch.context());
+  }
+}
+
+void issue_pingpong(std::shared_ptr<PerfState> st, core::Channel& ch) {
+  const std::uint32_t size = st->next_size();
+  ++st->issued;
+  st->payload_bytes += 2ull * size;  // request + echo
+  const Nanos t0 = ch.context().engine().now();
+  const Errc rc = ch.call(
+      Buffer::make(size),
+      [st, &ch, t0](Result<core::Msg> r) { pingpong_complete(st, ch, t0, r); },
+      st->opts.rpc_timeout);
+  if (rc != Errc::ok) {
+    ++st->report.errors;
+    st->finish(ch.context());
+  }
+}
+
+/// Open-loop stream: issue one-way messages paced at target_gbps (or as
+/// fast as the window drains when target is 0).
+struct StreamDriver : std::enable_shared_from_this<StreamDriver> {
+  std::shared_ptr<PerfState> st;
+  core::Channel* ch = nullptr;
+
+  void step() {
+    core::Context& ctx = ch->context();
+    while (st->issued < st->opts.total_msgs) {
+      const std::uint32_t size = st->next_size();
+      const Errc rc = ch->send_msg(Buffer::synthetic(size));
+      if (rc != Errc::ok) {
+        ++st->report.errors;
+        break;
+      }
+      ++st->issued;
+      ++st->report.completed;
+      st->payload_bytes += size;
+      if (st->opts.target_gbps > 0) {
+        // Paced: schedule the next send at the target rate.
+        const Nanos gap = transmission_time(size, st->opts.target_gbps);
+        auto self = shared_from_this();
+        ctx.engine().schedule_after(gap, [self] { self->step(); });
+        return;
+      }
+      if (ch->inflight_msgs() + ch->queued_msgs() >=
+          2 * ctx.config().window_depth) {
+        // Window saturated: back off briefly and retry.
+        auto self = shared_from_this();
+        ctx.engine().schedule_after(micros(5), [self] { self->step(); });
+        return;
+      }
+    }
+    if (st->issued >= st->opts.total_msgs) st->finish(ctx);
+  }
+};
+}  // namespace
+
+void xr_perf(core::Channel& channel, PerfOptions opts,
+             std::function<void(PerfReport)> done) {
+  auto st = std::make_shared<PerfState>(opts);
+  st->done = std::move(done);
+  st->started = channel.context().engine().now();
+
+  if (opts.use_rpc || opts.model == FlowModel::pingpong) {
+    issue_pingpong(st, channel);
+    return;
+  }
+  auto driver = std::make_shared<StreamDriver>();
+  driver->st = st;
+  driver->ch = &channel;
+  driver->step();
+}
+
+}  // namespace xrdma::tools

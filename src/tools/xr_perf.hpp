@@ -1,0 +1,57 @@
+// XR-Perf (§VI-B): flexible load generator with customizable flow models.
+//
+// Drives a channel (or a set of channels) with a configured traffic shape:
+// ping-pong latency probing, open-loop throughput, elephant/mice mixes,
+// and request-response stress. Reports latency histograms and achieved
+// rates. The figure benches are thin wrappers over these runners.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "core/context.hpp"
+
+namespace xrdma::tools {
+
+enum class FlowModel {
+  pingpong,   // closed loop, one message at a time (latency)
+  stream,     // open loop at a target rate (throughput)
+  elephant,   // few flows, large messages
+  mice,       // many small messages
+  mixed,      // bimodal elephant/mice mix
+};
+
+struct PerfOptions {
+  FlowModel model = FlowModel::pingpong;
+  std::uint32_t msg_size = 64;
+  std::uint32_t large_size = 512 * 1024;  // elephant / mixed
+  double mice_fraction = 0.9;             // mixed: P(small)
+  std::uint64_t total_msgs = 1000;
+  double target_gbps = 0;   // stream models: 0 = as fast as the window allows
+  Nanos rpc_timeout = millis(100);
+  std::uint64_t seed = 7;
+  bool use_rpc = true;      // request/response vs one-way messages
+};
+
+struct PerfReport {
+  Histogram latency;         // per-op ns (rpc round trips)
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  Nanos duration = 0;
+  double achieved_gbps = 0;  // payload goodput
+  double achieved_kops = 0;
+
+  std::string summary() const;
+};
+
+/// Install the echo responder XR-Perf expects on the server channel.
+void perf_echo_responder(core::Channel& channel);
+
+/// Run the workload on `channel`; invokes `done` with the report.
+void xr_perf(core::Channel& channel, PerfOptions opts,
+             std::function<void(PerfReport)> done);
+
+}  // namespace xrdma::tools

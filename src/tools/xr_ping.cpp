@@ -1,0 +1,110 @@
+#include "tools/xr_ping.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace xrdma::tools {
+
+int PingMatrix::unreachable_count() const {
+  int c = 0;
+  for (const auto& row : rtt) {
+    for (const Nanos v : row) {
+      if (v < 0) ++c;
+    }
+  }
+  return c;
+}
+
+std::string PingMatrix::render() const {
+  std::ostringstream os;
+  os << "      ";
+  for (int j = 0; j < n; ++j) os << strfmt("%8d", j);
+  os << "\n";
+  for (int i = 0; i < n; ++i) {
+    os << strfmt("%4d  ", i);
+    for (int j = 0; j < n; ++j) {
+      const Nanos v = rtt[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (i == j) {
+        os << strfmt("%8s", "-");
+      } else if (v < 0) {
+        os << strfmt("%8s", "FAIL");
+      } else {
+        os << strfmt("%7.1fu", to_micros(v));
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+struct MeshState {
+  PingMatrix matrix;
+  int outstanding = 0;
+  std::function<void(PingMatrix)> done;
+
+  void finish_one() {
+    if (--outstanding == 0 && done) done(std::move(matrix));
+  }
+};
+}  // namespace
+
+void xr_ping_mesh(std::vector<core::Context*> contexts, XrPingOptions opts,
+                  std::function<void(PingMatrix)> done) {
+  const int n = static_cast<int>(contexts.size());
+  auto state = std::make_shared<MeshState>();
+  state->matrix.n = n;
+  state->matrix.rtt.assign(static_cast<std::size_t>(n),
+                           std::vector<Nanos>(static_cast<std::size_t>(n), -1));
+  state->done = std::move(done);
+  state->outstanding = n * (n - 1);
+  if (state->outstanding == 0) {
+    state->done(std::move(state->matrix));
+    return;
+  }
+
+  // Responders: echo ping requests.
+  for (core::Context* ctx : contexts) {
+    ctx->listen(opts.port, [](core::Channel& ch) {
+      ch.set_on_msg([](core::Channel& c, core::Msg&& m) {
+        if (m.is_rpc_req) c.reply(m.rpc_id, Buffer::make(8));
+      });
+    });
+  }
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) {
+        state->matrix.rtt[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = 0;
+        continue;
+      }
+      core::Context* src = contexts[static_cast<std::size_t>(i)];
+      const net::NodeId dst = contexts[static_cast<std::size_t>(j)]->node();
+      src->connect(dst, opts.port, [state, src, i, j, opts](
+                                       Result<core::Channel*> r) {
+        if (!r.ok()) {
+          state->finish_one();
+          return;
+        }
+        core::Channel* ch = r.value();
+        const Nanos start = src->engine().now();
+        ch->call(
+            Buffer::make(8),
+            [state, src, ch, i, j, start](Result<core::Msg> resp) {
+              if (resp.ok()) {
+                state->matrix.rtt[static_cast<std::size_t>(i)]
+                                 [static_cast<std::size_t>(j)] =
+                    src->engine().now() - start;
+              }
+              ch->close();
+              state->finish_one();
+            },
+            opts.timeout);
+      });
+    }
+  }
+}
+
+}  // namespace xrdma::tools

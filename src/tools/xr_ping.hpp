@@ -1,0 +1,38 @@
+// XR-Ping (§VI-B): RDMA-native pingmesh.
+//
+// Pings every ordered pair of contexts over ephemeral X-RDMA channels and
+// aggregates the results into a full-mesh connection matrix — what the
+// paper's centralized monitor renders for a ToR. Unreachable peers show as
+// a negative entry, which is how broken links/hosts are spotted.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace xrdma::tools {
+
+struct PingMatrix {
+  int n = 0;
+  /// rtt[i][j]: round-trip ns from contexts[i] to contexts[j]; -1 means
+  /// unreachable; 0 on the diagonal.
+  std::vector<std::vector<Nanos>> rtt;
+
+  int unreachable_count() const;
+  std::string render() const;
+};
+
+struct XrPingOptions {
+  std::uint16_t port = 7999;  // each context listens here for pings
+  int probes_per_pair = 1;
+  Nanos timeout = millis(50);
+};
+
+/// Installs ping responders on every context, then runs the mesh; `done`
+/// receives the aggregated matrix. Contexts must be polling (or have their
+/// polling loops started).
+void xr_ping_mesh(std::vector<core::Context*> contexts, XrPingOptions opts,
+                  std::function<void(PingMatrix)> done);
+
+}  // namespace xrdma::tools

@@ -1,0 +1,103 @@
+#include "tools/xr_stat.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace xrdma::tools {
+
+namespace {
+const char* state_name(core::Channel::State s) {
+  switch (s) {
+    case core::Channel::State::established: return "ESTABLISHED";
+    case core::Channel::State::closing: return "CLOSING";
+    case core::Channel::State::closed: return "CLOSED";
+    case core::Channel::State::error: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string xr_stat(core::Context& ctx) {
+  std::ostringstream os;
+  os << strfmt("%-6s %-6s %-12s %10s %10s %12s %12s %8s %8s %6s %6s %5s\n",
+               "peer", "qp", "state", "msgs_tx", "msgs_rx", "bytes_tx",
+               "bytes_rx", "inflight", "queued", "acks", "nops", "ka");
+  for (core::Channel* ch : ctx.channels()) {
+    const auto& s = ch->stats();
+    os << strfmt("%-6u %-6u %-12s %10llu %10llu %12llu %12llu %8zu %8zu "
+                 "%6llu %6llu %5llu\n",
+                 ch->peer_node(), ch->qp_num(), state_name(ch->state()),
+                 static_cast<unsigned long long>(s.msgs_tx),
+                 static_cast<unsigned long long>(s.msgs_rx),
+                 static_cast<unsigned long long>(s.bytes_tx),
+                 static_cast<unsigned long long>(s.bytes_rx),
+                 ch->inflight_msgs(), ch->queued_msgs(),
+                 static_cast<unsigned long long>(s.acks_tx),
+                 static_cast<unsigned long long>(s.nops_tx),
+                 static_cast<unsigned long long>(s.keepalive_probes));
+  }
+  return os.str();
+}
+
+std::string xr_stat_summary(core::Context& ctx) {
+  std::ostringstream os;
+  const auto& cs = ctx.stats();
+  os << strfmt("node %u: channels=%zu opened=%llu closed=%llu errors=%llu\n",
+               ctx.node(), ctx.num_channels(),
+               static_cast<unsigned long long>(cs.channels_opened),
+               static_cast<unsigned long long>(cs.channels_closed),
+               static_cast<unsigned long long>(cs.channel_errors));
+  os << strfmt("  polling: polls=%llu empty=%llu slow=%llu worst_gap=%s "
+               "parks=%llu wakeups=%llu\n",
+               static_cast<unsigned long long>(cs.polls),
+               static_cast<unsigned long long>(cs.empty_polls),
+               static_cast<unsigned long long>(cs.slow_polls),
+               format_duration(cs.worst_poll_gap).c_str(),
+               static_cast<unsigned long long>(cs.parks),
+               static_cast<unsigned long long>(cs.wakeups));
+  const auto& ctrl = ctx.ctrl_cache().stats();
+  const auto& data = ctx.data_cache().stats();
+  os << strfmt("  memcache: occupy=%.1fMB in_use=%.1fMB grows=%llu "
+               "shrinks=%llu guard_violations=%llu\n",
+               static_cast<double>(ctrl.occupied_bytes + data.occupied_bytes) /
+                   1e6,
+               static_cast<double>(ctrl.in_use_bytes + data.in_use_bytes) / 1e6,
+               static_cast<unsigned long long>(ctrl.grow_events +
+                                               data.grow_events),
+               static_cast<unsigned long long>(ctrl.shrink_events +
+                                               data.shrink_events),
+               static_cast<unsigned long long>(ctrl.guard_violations +
+                                               data.guard_violations));
+  os << strfmt("  qp_cache: size=%zu hits=%llu misses=%llu\n",
+               ctx.qp_cache().size(),
+               static_cast<unsigned long long>(ctx.qp_cache().hits()),
+               static_cast<unsigned long long>(ctx.qp_cache().misses()));
+  const auto& ns = ctx.nic().stats();
+  os << strfmt("  rnic: tx_pkts=%llu rx_pkts=%llu rnr_naks=%llu rnr_events=%llu "
+               "retrans=%llu timeouts=%llu cnp_tx=%llu cnp_rx=%llu "
+               "qp_errors=%llu\n",
+               static_cast<unsigned long long>(ns.tx_packets),
+               static_cast<unsigned long long>(ns.rx_packets),
+               static_cast<unsigned long long>(ns.rnr_naks_sent),
+               static_cast<unsigned long long>(ns.rnr_events),
+               static_cast<unsigned long long>(ns.retransmitted_packets),
+               static_cast<unsigned long long>(ns.timeouts),
+               static_cast<unsigned long long>(ns.cnps_sent),
+               static_cast<unsigned long long>(ns.cnps_received),
+               static_cast<unsigned long long>(ns.qp_errors));
+  return os.str();
+}
+
+std::string xr_stat_fabric(const net::Fabric& fabric) {
+  const auto s = fabric.stats();
+  return strfmt(
+      "fabric: drops=%llu ecn_marks=%llu pfc_pause_frames=%llu "
+      "host_tx_pause=%s\n",
+      static_cast<unsigned long long>(s.drops),
+      static_cast<unsigned long long>(s.ecn_marks),
+      static_cast<unsigned long long>(s.pause_frames),
+      format_duration(s.host_tx_pause_time).c_str());
+}
+
+}  // namespace xrdma::tools

@@ -1,0 +1,22 @@
+// XR-Stat (§VI-B): netstat-style per-connection statistics, plus context
+// and NIC counters (memory cache occupancy, CNP/PFC indexes).
+#pragma once
+
+#include <string>
+
+#include "core/context.hpp"
+#include "net/fabric.hpp"
+
+namespace xrdma::tools {
+
+/// One row per channel: peer, state, traffic and protocol counters.
+std::string xr_stat(core::Context& ctx);
+
+/// Context-level summary: polling health, caches, QP cache, NIC counters.
+std::string xr_stat_summary(core::Context& ctx);
+
+/// Fabric-level health indexes the monitor watches: PFC pauses, queue
+/// drops, ECN marks.
+std::string xr_stat_fabric(const net::Fabric& fabric);
+
+}  // namespace xrdma::tools

@@ -1,0 +1,322 @@
+// Analysis framework + tools: Monitor series/log collection, clock sync,
+// Mock TCP fallback, XR-Stat, XR-Ping mesh, XR-Perf, XR-adm.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/clock_sync.hpp"
+#include "analysis/mock.hpp"
+#include "analysis/monitor.hpp"
+#include "core/context.hpp"
+#include "testbed/cluster.hpp"
+#include "tools/xr_adm.hpp"
+#include "tools/xr_perf.hpp"
+#include "tools/xr_ping.hpp"
+#include "tools/xr_stat.hpp"
+
+namespace xrdma {
+namespace {
+
+using analysis::ClockSyncResult;
+using analysis::MockFallback;
+using analysis::Monitor;
+using core::Channel;
+using core::Config;
+using core::Context;
+using core::Msg;
+
+struct Pair {
+  testbed::Cluster cluster;
+  Context server;
+  Context client;
+  Channel* client_ch = nullptr;
+  Channel* server_ch = nullptr;
+
+  explicit Pair(Config cfg = {}, testbed::ClusterConfig ccfg = {})
+      : cluster(ccfg),
+        server(cluster.rnic(1), cluster.cm(), cfg),
+        client(cluster.rnic(0), cluster.cm(), cfg) {}
+
+  void establish(std::uint16_t port = 7000) {
+    server.listen(port, [this](Channel& ch) { server_ch = &ch; });
+    client.connect(1, port, [this](Result<Channel*> r) {
+      ASSERT_TRUE(r.ok());
+      client_ch = r.value();
+    });
+    cluster.engine().run_for(millis(20));
+    ASSERT_NE(client_ch, nullptr);
+    ASSERT_NE(server_ch, nullptr);
+    server.config().poll_mode = core::PollMode::busy;
+    client.config().poll_mode = core::PollMode::busy;
+    server.start_polling_loop();
+    client.start_polling_loop();
+  }
+
+  void run(Nanos d) { cluster.engine().run_for(d); }
+};
+
+TEST(Monitor, SamplesTrackedSeriesPeriodically) {
+  sim::Engine eng;
+  Monitor mon(eng, millis(1));
+  double value = 0;
+  mon.track("value", [&] { return value; });
+  mon.start();
+  eng.schedule_after(millis(5), [&] { value = 42; });
+  eng.run_until(millis(10));
+  mon.stop();
+  const auto& s = mon.series("value");
+  ASSERT_GE(s.samples.size(), 9u);
+  EXPECT_EQ(s.samples.front().value, 0);
+  EXPECT_EQ(s.last(), 42);
+  EXPECT_EQ(s.max(), 42);
+}
+
+TEST(Monitor, CovMeasuresJitter) {
+  sim::Engine eng;
+  Monitor mon(eng, millis(1));
+  analysis::Series flat{"flat", {{0, 5}, {1, 5}, {2, 5}}};
+  analysis::Series jittery{"j", {{0, 1}, {1, 9}, {2, 1}, {3, 9}}};
+  EXPECT_EQ(flat.cov(), 0);
+  EXPECT_GT(jittery.cov(), 0.5);
+}
+
+TEST(Monitor, CollectsWarnLogs) {
+  sim::Engine eng;
+  Monitor mon(eng, millis(1));
+  Logger::global().log(0, LogLevel::warn, "test", "slow poll: blah");
+  Logger::global().log(0, LogLevel::info, "test", "not collected");
+  EXPECT_EQ(mon.logs().size(), 1u);
+  EXPECT_EQ(mon.count_logs("slow poll"), 1u);
+}
+
+TEST(ClockSync, EstimatesPeerOffsetWithinMicroseconds) {
+  Pair t;
+  t.establish();
+  // Server clock runs 2 ms ahead of the client.
+  t.server.set_clock_skew(millis(2));
+  analysis::serve_clock_sync(*t.server_ch);
+
+  ClockSyncResult result;
+  bool done = false;
+  analysis::run_clock_sync(*t.client_ch, 8, [&](ClockSyncResult r) {
+    result = r;
+    done = true;
+  });
+  t.run(millis(20));
+  ASSERT_TRUE(done);
+  // Offset error is bounded by path asymmetry — microseconds here.
+  EXPECT_NEAR(static_cast<double>(result.offset),
+              static_cast<double>(millis(2)), static_cast<double>(micros(5)));
+  EXPECT_EQ(t.client.peer_clock_offset(), result.offset);
+  EXPECT_GT(result.best_rtt, micros(2));
+}
+
+TEST(ClockSync, CorrectedTraceLatencyIsSane) {
+  Config cfg;
+  cfg.reqrsp_mode = true;
+  Pair t(cfg);
+  t.establish();
+  t.client.set_clock_skew(millis(3));  // client ahead
+  analysis::serve_clock_sync(*t.client_ch);  // server measures client offset
+
+  bool synced = false;
+  analysis::run_clock_sync(*t.server_ch, 8,
+                           [&](ClockSyncResult) { synced = true; });
+  t.run(millis(20));
+  ASSERT_TRUE(synced);
+
+  // Now a traced message client -> server decomposes correctly.
+  core::TraceReport report;
+  t.server_ch->set_on_msg([&](Channel&, Msg&& m) {
+    report = t.server.trace_request(m);
+  });
+  t.client_ch->send_msg(Buffer::make(64));
+  t.run(millis(5));
+  ASSERT_TRUE(report.traced);
+  EXPECT_GT(report.network_latency, micros(1));
+  EXPECT_LT(report.network_latency, micros(100));
+}
+
+TEST(Mock, FallbackToTcpKeepsMessagesFlowing) {
+  Pair t;
+  t.establish();
+  MockFallback server_mock(t.server, t.cluster.host(1).tcp(), 9100);
+
+  std::vector<std::string> got;
+  t.server_ch->set_on_msg([&](Channel& ch, Msg&& m) {
+    got.push_back(m.payload.to_string());
+    if (m.is_rpc_req) ch.reply(m.rpc_id, Buffer::from_string("ok"));
+  });
+
+  t.client_ch->send_msg(Buffer::from_string("over-rdma"));
+  t.run(millis(5));
+
+  bool switched = false;
+  MockFallback::switch_to_tcp(*t.client_ch, t.cluster.host(0).tcp(), 9100,
+                              [&](Errc e) { switched = e == Errc::ok; });
+  t.run(millis(5));
+  ASSERT_TRUE(switched);
+  ASSERT_TRUE(t.client_ch->mocked());
+
+  t.client_ch->send_msg(Buffer::from_string("over-tcp"));
+  std::string rpc_result;
+  t.client_ch->call(Buffer::from_string("req"), [&](Result<Msg> r) {
+    if (r.ok()) rpc_result = r.value().payload.to_string();
+  });
+  t.run(millis(20));
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "over-rdma");
+  EXPECT_EQ(got[1], "over-tcp");
+  EXPECT_EQ(rpc_result, "ok");
+  EXPECT_GT(t.client_ch->stats().mock_tx, 0u);
+}
+
+TEST(Mock, RestoreReturnsToRdma) {
+  Pair t;
+  t.establish();
+  MockFallback server_mock(t.server, t.cluster.host(1).tcp(), 9100);
+  bool switched = false;
+  MockFallback::switch_to_tcp(*t.client_ch, t.cluster.host(0).tcp(), 9100,
+                              [&](Errc e) { switched = e == Errc::ok; });
+  t.run(millis(5));
+  ASSERT_TRUE(switched);
+
+  int got = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&&) { ++got; });
+  t.client_ch->send_msg(Buffer::from_string("tcp"));
+  t.run(millis(10));
+  EXPECT_EQ(got, 1);
+
+  MockFallback::restore_rdma(*t.client_ch);
+  t.run(millis(10));
+  EXPECT_FALSE(t.client_ch->mocked());
+  const std::uint64_t rnic_msgs_before =
+      t.cluster.rnic(0).stats().tx_packets;
+  t.client_ch->send_msg(Buffer::from_string("rdma-again"));
+  t.run(millis(10));
+  EXPECT_EQ(got, 2);
+  EXPECT_GT(t.cluster.rnic(0).stats().tx_packets, rnic_msgs_before);
+}
+
+TEST(XrStat, RendersChannelRowsAndSummaries) {
+  Pair t;
+  t.establish();
+  t.server_ch->set_on_msg([](Channel&, Msg&&) {});
+  t.client_ch->send_msg(Buffer::make(100));
+  t.run(millis(5));
+  const std::string rows = tools::xr_stat(t.client);
+  EXPECT_NE(rows.find("ESTABLISHED"), std::string::npos);
+  const std::string summary = tools::xr_stat_summary(t.client);
+  EXPECT_NE(summary.find("memcache"), std::string::npos);
+  EXPECT_NE(summary.find("qp_cache"), std::string::npos);
+  const std::string fstat = tools::xr_stat_fabric(t.cluster.fabric());
+  EXPECT_NE(fstat.find("pfc_pause_frames"), std::string::npos);
+}
+
+TEST(XrPing, MeshMatrixFindsDeadHost) {
+  testbed::ClusterConfig ccfg;
+  ccfg.fabric = net::ClosConfig::rack(4);
+  testbed::Cluster cluster(ccfg);
+  std::vector<std::unique_ptr<Context>> ctxs;
+  std::vector<Context*> raw;
+  for (int i = 0; i < 4; ++i) {
+    ctxs.push_back(std::make_unique<Context>(
+        cluster.rnic(static_cast<net::NodeId>(i)), cluster.cm()));
+    ctxs.back()->config().poll_mode = core::PollMode::busy;
+    ctxs.back()->start_polling_loop();
+    raw.push_back(ctxs.back().get());
+  }
+  cluster.host(3).set_alive(false);  // one broken host
+
+  tools::PingMatrix matrix;
+  bool done = false;
+  tools::XrPingOptions opts;
+  opts.timeout = millis(10);
+  tools::xr_ping_mesh(raw, opts, [&](tools::PingMatrix m) {
+    matrix = std::move(m);
+    done = true;
+  });
+  cluster.engine().run_for(millis(200));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(matrix.n, 4);
+  // Healthy pairs pinged in microseconds.
+  EXPECT_GT(matrix.rtt[0][1], 0);
+  EXPECT_LT(matrix.rtt[0][1], millis(1));
+  // Everything involving host 3 failed.
+  EXPECT_LT(matrix.rtt[0][3], 0);
+  EXPECT_LT(matrix.rtt[3][0], 0);
+  EXPECT_EQ(matrix.unreachable_count(), 6);
+  EXPECT_NE(matrix.render().find("FAIL"), std::string::npos);
+}
+
+TEST(XrPerf, PingPongReportsLatencyHistogram) {
+  Pair t;
+  t.establish();
+  tools::perf_echo_responder(*t.server_ch);
+  tools::PerfOptions opts;
+  opts.total_msgs = 100;
+  opts.msg_size = 64;
+  tools::PerfReport report;
+  bool done = false;
+  tools::xr_perf(*t.client_ch, opts, [&](tools::PerfReport r) {
+    report = std::move(r);
+    done = true;
+  });
+  t.run(millis(100));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(report.completed, 100u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_GT(report.latency.mean(), 1000.0);           // > 1 us
+  EXPECT_LT(report.latency.mean(), 20000.0);          // < 20 us
+  EXPECT_GT(report.achieved_kops, 10.0);
+}
+
+TEST(XrPerf, MixedFlowModelSendsBothSizes) {
+  Pair t;
+  t.establish();
+  std::size_t small = 0, large = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&& m) {
+    (m.payload.size() <= 4096 ? small : large) += 1;
+  });
+  tools::PerfOptions opts;
+  opts.model = tools::FlowModel::mixed;
+  opts.use_rpc = false;
+  opts.total_msgs = 200;
+  opts.msg_size = 256;
+  opts.large_size = 128 * 1024;
+  opts.mice_fraction = 0.8;
+  bool done = false;
+  tools::xr_perf(*t.client_ch, opts, [&](tools::PerfReport) { done = true; });
+  t.run(millis(200));
+  ASSERT_TRUE(done);
+  EXPECT_GT(small, 100u);
+  EXPECT_GT(large, 10u);
+  EXPECT_EQ(small + large, 200u);
+}
+
+TEST(XrAdm, DistributesOnlineFlagsAcrossFleet) {
+  Pair t;
+  tools::XrAdm adm(t.cluster.engine());
+  adm.manage(t.server);
+  adm.manage(t.client);
+  tools::AdmResult result;
+  adm.set_all("slow_threshold_us", 500,
+              [&](tools::AdmResult r) { result = r; });
+  t.run(millis(5));
+  EXPECT_EQ(result.applied, 2);
+  EXPECT_EQ(t.client.config().slow_threshold, micros(500));
+  EXPECT_EQ(t.server.config().slow_threshold, micros(500));
+  const auto values = adm.collect("slow_threshold_us");
+  EXPECT_EQ(values.size(), 2u);
+
+  // Offline parameters are refused fleet-wide.
+  adm.set_all("cq_size", 1, [&](tools::AdmResult r) { result = r; });
+  t.run(millis(5));
+  EXPECT_EQ(result.applied, 0);
+  EXPECT_EQ(result.rejected, 2);
+}
+
+}  // namespace
+}  // namespace xrdma

@@ -1,0 +1,456 @@
+// End-to-end middleware behaviour: connection establishment over CM,
+// small/large messages, RPC with Read-replace-Write responses, seq-ack
+// acking, RNR-freedom under a slow receiver, keepalive peer-death
+// detection, FIN close with QP recycling, flow-control queuing, SRQ mode,
+// fault injection, and zero-copy sends.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "testbed/cluster.hpp"
+
+namespace xrdma::core {
+namespace {
+
+struct Pair {
+  testbed::Cluster cluster;
+  Context server;
+  Context client;
+  Channel* client_ch = nullptr;
+  Channel* server_ch = nullptr;
+
+  explicit Pair(Config cfg = {}, testbed::ClusterConfig ccfg = {})
+      : cluster(ccfg),
+        server(cluster.rnic(1), cluster.cm(), cfg),
+        client(cluster.rnic(0), cluster.cm(), cfg) {}
+
+  void establish(std::uint16_t port = 7000) {
+    server.listen(port, [this](Channel& ch) { server_ch = &ch; });
+    client.connect(1, port, [this](Result<Channel*> r) {
+      ASSERT_TRUE(r.ok());
+      client_ch = r.value();
+    });
+    cluster.engine().run_until(cluster.engine().now() + millis(20));
+    ASSERT_NE(client_ch, nullptr);
+    ASSERT_NE(server_ch, nullptr);
+    // Applications poll; tests drive polling in a busy loop.
+    server.config().poll_mode = PollMode::busy;
+    client.config().poll_mode = PollMode::busy;
+    server.start_polling_loop();
+    client.start_polling_loop();
+  }
+
+  void run(Nanos d) { cluster.engine().run_until(cluster.engine().now() + d); }
+};
+
+TEST(Channel, EstablishesAndExchangesSmallMessages) {
+  Pair t;
+  t.establish();
+  std::vector<std::string> got;
+  t.server_ch->set_on_msg([&](Channel& ch, Msg&& m) {
+    got.push_back(m.payload.to_string());
+    ch.send_msg(Buffer::from_string("pong:" + m.payload.to_string()));
+  });
+  std::vector<std::string> replies;
+  t.client_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { replies.push_back(m.payload.to_string()); });
+
+  t.client_ch->send_msg(Buffer::from_string("a"));
+  t.client_ch->send_msg(Buffer::from_string("b"));
+  t.run(millis(2));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "a");
+  EXPECT_EQ(got[1], "b");
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], "pong:a");
+  EXPECT_EQ(replies[1], "pong:b");
+}
+
+TEST(Channel, LargeMessageGoesRendezvousAndDeliversContent) {
+  Pair t;
+  t.establish();
+  const std::size_t len = 512 * 1024;  // well above small_msg_size
+  Buffer big = Buffer::make(len);
+  fill_pattern(big, 42);
+
+  Buffer received;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { received = std::move(m.payload); });
+  t.client_ch->send_msg(big.clone());
+  t.run(millis(5));
+
+  ASSERT_EQ(received.size(), len);
+  EXPECT_TRUE(check_pattern(received, 42));
+  EXPECT_EQ(t.client_ch->stats().large_msgs_tx, 1u);
+  EXPECT_EQ(t.server_ch->stats().large_msgs_rx, 1u);
+  EXPECT_GT(t.server_ch->stats().reads_issued, 1u);  // fragmented pull
+}
+
+TEST(Channel, SmallAndLargeInterleavedStayInOrder) {
+  Pair t;
+  t.establish();
+  std::vector<std::size_t> sizes;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { sizes.push_back(m.payload.size()); });
+  const std::vector<std::size_t> plan = {10, 100000, 20, 5, 300000, 1, 8192};
+  for (std::size_t s : plan) t.client_ch->send_msg(Buffer::make(s));
+  t.run(millis(10));
+  EXPECT_EQ(sizes, plan);  // seq-ack delivery order == send order
+}
+
+TEST(Channel, RpcRoundTripMatchesById) {
+  Pair t;
+  t.establish();
+  t.server_ch->set_on_msg([&](Channel& ch, Msg&& m) {
+    ASSERT_TRUE(m.is_rpc_req);
+    ch.reply(m.rpc_id, Buffer::from_string("resp:" + m.payload.to_string()));
+  });
+  std::vector<std::string> responses;
+  for (int i = 0; i < 3; ++i) {
+    t.client_ch->call(Buffer::from_string("req" + std::to_string(i)),
+                      [&](Result<Msg> r) {
+                        ASSERT_TRUE(r.ok());
+                        responses.push_back(r.value().payload.to_string());
+                      });
+  }
+  t.run(millis(5));
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0], "resp:req0");
+  EXPECT_EQ(responses[2], "resp:req2");
+  EXPECT_EQ(t.client_ch->stats().rpc_calls, 3u);
+}
+
+TEST(Channel, LargeRpcResponseUsesReadReplaceWrite) {
+  // §IV-C: the requester pulls big responses with RDMA Read instead of the
+  // responder pushing an over-sized Write.
+  Pair t;
+  t.establish();
+  const std::size_t len = 1u << 20;
+  t.server_ch->set_on_msg([&](Channel& ch, Msg&& m) {
+    Buffer rsp = Buffer::make(len);
+    fill_pattern(rsp, 7);
+    ch.reply(m.rpc_id, std::move(rsp));
+  });
+  bool done = false;
+  t.client_ch->call(Buffer::from_string("gimme"), [&](Result<Msg> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().payload.size(), len);
+    EXPECT_TRUE(check_pattern(r.value().payload, 7));
+    done = true;
+  });
+  t.run(millis(10));
+  EXPECT_TRUE(done);
+  // The *requester* (client) issued the reads for the response payload.
+  EXPECT_GT(t.client_ch->stats().reads_issued, 0u);
+  EXPECT_EQ(t.server_ch->stats().large_msgs_tx, 1u);
+}
+
+TEST(Channel, RpcTimesOutWhenServerIgnoresRequest) {
+  Pair t;
+  t.establish();
+  t.server_ch->set_on_msg([](Channel&, Msg&&) { /* never reply */ });
+  Errc err = Errc::ok;
+  t.client_ch->call(Buffer::from_string("x"),
+                    [&](Result<Msg> r) { err = r.error(); },
+                    /*timeout=*/millis(3));
+  t.run(millis(10));
+  EXPECT_EQ(err, Errc::timed_out);
+  EXPECT_EQ(t.client_ch->stats().rpc_timeouts, 1u);
+}
+
+TEST(Channel, WindowLimitsInflightAndQueuesExcess) {
+  Config cfg;
+  cfg.window_depth = 4;
+  Pair t(cfg);
+  t.establish();
+  int delivered = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&&) { ++delivered; });
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(t.client_ch->send_msg(Buffer::make(64)), Errc::ok);
+  }
+  EXPECT_LE(t.client_ch->inflight_msgs(), 4u);
+  EXPECT_GT(t.client_ch->stats().window_stalls, 0u);
+  t.run(millis(20));
+  EXPECT_EQ(delivered, 50);
+  EXPECT_EQ(t.client_ch->inflight_msgs(), 0u);  // everything acked
+}
+
+TEST(Channel, RnrFreeEvenWithTinyWindowAndBurst) {
+  // The RNR-free guarantee (§V-B): no RNR NAK ever appears at the RNIC
+  // level, because the window bounds in-flight sends below the pre-posted
+  // receive credits.
+  Config cfg;
+  cfg.window_depth = 2;
+  Pair t(cfg);
+  t.establish();
+  int delivered = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&&) { ++delivered; });
+  for (int i = 0; i < 200; ++i) t.client_ch->send_msg(Buffer::make(128));
+  t.run(millis(50));
+  EXPECT_EQ(delivered, 200);
+  EXPECT_EQ(t.cluster.rnic(1).stats().rnr_naks_sent, 0u);
+  EXPECT_EQ(t.cluster.rnic(0).stats().rnr_events, 0u);
+}
+
+TEST(Channel, StandaloneAckFlowsWhenTrafficIsOneWay) {
+  Config cfg;
+  cfg.ack_every = 4;
+  Pair t(cfg);
+  t.establish();
+  int delivered = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&&) { ++delivered; });
+  for (int i = 0; i < 32; ++i) t.client_ch->send_msg(Buffer::make(32));
+  t.run(millis(10));
+  EXPECT_EQ(delivered, 32);
+  // Server never sent data, so acks had to travel standalone.
+  EXPECT_GT(t.server_ch->stats().acks_tx, 0u);
+  EXPECT_GT(t.client_ch->stats().acks_rx, 0u);
+}
+
+TEST(Channel, DeadlockNopFlushesFinalAcks) {
+  // With ack_every larger than the message count, the tail acks can only
+  // leave via the NOP path (Algorithm 1 TIME_OUT).
+  Config cfg;
+  cfg.ack_every = 1000;
+  cfg.window_depth = 8;
+  Pair t(cfg);
+  t.establish();
+  int delivered = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&&) { ++delivered; });
+  for (int i = 0; i < 5; ++i) t.client_ch->send_msg(Buffer::make(16));
+  t.run(millis(30));
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(t.client_ch->inflight_msgs(), 0u);  // acks arrived eventually
+  EXPECT_GT(t.server_ch->stats().nops_tx, 0u);
+}
+
+TEST(Channel, KeepaliveDetectsDeadPeerAndReleasesResources) {
+  Config cfg;
+  cfg.keepalive_intv = millis(5);
+  cfg.keepalive_timeout = millis(20);
+  Pair t(cfg);
+  t.establish();
+  Errc seen = Errc::ok;
+  t.client_ch->set_on_error([&](Channel&, Errc e) { seen = e; });
+
+  t.run(millis(2));
+  t.cluster.host(1).set_alive(false);  // machine crash, no FIN
+  t.run(millis(200));
+
+  EXPECT_EQ(seen, Errc::peer_dead);
+  EXPECT_EQ(t.client_ch->state(), Channel::State::error);
+  EXPECT_GT(t.client_ch->stats().keepalive_probes, 0u);
+  // No leak: the QP went back to the cache for reuse (§V-A).
+  EXPECT_EQ(t.client.qp_cache().size(), 1u);
+}
+
+TEST(Channel, KeepaliveQuietOnHealthyIdleChannel) {
+  Config cfg;
+  cfg.keepalive_intv = millis(2);
+  Pair t(cfg);
+  t.establish();
+  bool errored = false;
+  t.client_ch->set_on_error([&](Channel&, Errc) { errored = true; });
+  t.run(millis(100));
+  EXPECT_FALSE(errored);
+  EXPECT_GT(t.client_ch->stats().keepalive_probes, 5u);
+  EXPECT_EQ(t.client_ch->state(), Channel::State::established);
+}
+
+TEST(Channel, GracefulCloseRecyclesQpAndNotifiesPeer) {
+  Pair t;
+  t.establish();
+  Errc peer_saw = Errc::ok;
+  t.server_ch->set_on_error([&](Channel&, Errc e) { peer_saw = e; });
+  t.client_ch->close();
+  t.run(millis(5));
+  EXPECT_EQ(t.client_ch->state(), Channel::State::closed);
+  EXPECT_EQ(t.server_ch->state(), Channel::State::closed);
+  EXPECT_EQ(peer_saw, Errc::channel_closed);
+  EXPECT_EQ(t.client.qp_cache().size(), 1u);
+  EXPECT_EQ(t.server.qp_cache().size(), 1u);
+  EXPECT_EQ(t.client_ch->send_msg(Buffer::make(8)), Errc::channel_closed);
+}
+
+TEST(Channel, QpCacheAcceleratesReconnect) {
+  Pair t;
+  t.establish();
+  t.client_ch->close();
+  t.run(millis(5));
+  ASSERT_EQ(t.client.qp_cache().size(), 1u);
+
+  const Nanos start = t.cluster.engine().now();
+  Channel* fresh = nullptr;
+  t.client.connect(1, 7000, [&](Result<Channel*> r) {
+    ASSERT_TRUE(r.ok());
+    fresh = r.value();
+  });
+  t.run(millis(20));
+  ASSERT_NE(fresh, nullptr);
+  const Nanos reused_time = fresh->last_rx_time() - start;
+  // Cached-QP establishment must beat the full create path.
+  const auto& costs = t.cluster.cm().costs();
+  EXPECT_LT(reused_time, costs.total_with_create());
+  EXPECT_GE(reused_time, costs.total_reused());
+  EXPECT_EQ(t.client.qp_cache().hits(), 1u);
+}
+
+TEST(Channel, FlowControlQueuesReadsBeyondOutstandingCap) {
+  Config cfg;
+  cfg.max_outstanding_wrs = 2;
+  cfg.frag_size = 16 * 1024;
+  Pair t(cfg);
+  t.establish();
+  Buffer received;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { received = std::move(m.payload); });
+  Buffer big = Buffer::make(256 * 1024);  // 16 fragments at 16 KB
+  fill_pattern(big, 9);
+  t.client_ch->send_msg(std::move(big));
+  t.run(millis(20));
+  ASSERT_EQ(received.size(), 256u * 1024);
+  EXPECT_TRUE(check_pattern(received, 9));
+  EXPECT_GT(t.server_ch->stats().flowctl_queued, 0u);
+}
+
+TEST(Channel, SrqModeSharesReceiveBuffersAcrossChannels) {
+  Config cfg;
+  cfg.use_srq = true;
+  Pair t(cfg);
+  t.establish();
+  // Second channel between the same contexts.
+  Channel* second = nullptr;
+  t.client.connect(1, 7000, [&](Result<Channel*> r) { second = r.value(); });
+  t.run(millis(20));
+  ASSERT_NE(second, nullptr);
+
+  int delivered = 0;
+  for (Channel* ch : t.server.channels()) {
+    ch->set_on_msg([&](Channel&, Msg&&) { ++delivered; });
+  }
+  t.client_ch->send_msg(Buffer::from_string("one"));
+  second->send_msg(Buffer::from_string("two"));
+  t.run(millis(5));
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(Channel, FilterDropCausesRpcTimeoutNotCrash) {
+  Pair t;
+  t.establish();
+  t.server_ch->set_on_msg([](Channel& ch, Msg&& m) {
+    ch.reply(m.rpc_id, Buffer::from_string("r"));
+  });
+  // Drop every RPC request at the server's ingress (Filter, §VI-C).
+  t.server.set_filter([](Channel&, const WireHeader& hdr) {
+    Context::FilterDecision d;
+    if (hdr.flags & kFlagRpcReq) d.action = Context::FilterAction::drop;
+    return d;
+  });
+  Errc err = Errc::ok;
+  t.client_ch->call(Buffer::from_string("x"),
+                    [&](Result<Msg> r) { err = r.error(); }, millis(5));
+  t.run(millis(20));
+  EXPECT_EQ(err, Errc::timed_out);
+  EXPECT_GT(t.server_ch->stats().filtered_drops, 0u);
+}
+
+TEST(Channel, FilterDelaySlowsButDelivers) {
+  Pair t;
+  t.establish();
+  Nanos delivered_at = 0;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&&) { delivered_at = t.cluster.engine().now(); });
+  t.server.set_filter([](Channel&, const WireHeader& hdr) {
+    Context::FilterDecision d;
+    if ((hdr.flags & (kFlagAckOnly | kFlagNop)) == 0) {
+      d.action = Context::FilterAction::delay;
+      d.delay = millis(2);
+    }
+    return d;
+  });
+  const Nanos sent_at = t.cluster.engine().now();
+  t.client_ch->send_msg(Buffer::make(32));
+  t.run(millis(10));
+  EXPECT_GT(delivered_at, sent_at + millis(2));
+}
+
+TEST(Channel, ZeroCopySendUsesRegisteredBlock) {
+  Pair t;
+  t.establish();
+  MemBlock block = t.client.reg_mem(128 * 1024);
+  ASSERT_TRUE(block.valid());
+  std::uint8_t* p = t.client.mem_ptr(block);
+  for (int i = 0; i < 128 * 1024; ++i) p[i] = static_cast<std::uint8_t>(i);
+  Buffer received;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { received = std::move(m.payload); });
+  t.client_ch->send_msg(block, 128 * 1024);
+  t.run(millis(10));
+  ASSERT_EQ(received.size(), 128u * 1024);
+  EXPECT_EQ(received.data()[12345], static_cast<std::uint8_t>(12345));
+}
+
+TEST(Channel, ConnectToClosedPortFails) {
+  Pair t;
+  Errc err = Errc::ok;
+  t.client.connect(1, 9999, [&](Result<Channel*> r) { err = r.error(); });
+  t.run(millis(20));
+  EXPECT_EQ(err, Errc::connection_refused);
+}
+
+TEST(Channel, SetFlagTunesOnlineParametersOnly) {
+  Pair t;
+  EXPECT_EQ(t.client.set_flag("keepalive_intv_ms", 3), Errc::ok);
+  EXPECT_EQ(t.client.config().keepalive_intv, millis(3));
+  EXPECT_EQ(t.client.set_flag("use_srq", 1), Errc::invalid_argument);
+  EXPECT_EQ(t.client.set_flag("no_such_flag", 1), Errc::not_found);
+  auto v = t.client.get_flag("small_msg_size");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 4096);
+}
+
+TEST(Channel, TracedMessageCarriesTimestamps) {
+  Config cfg;
+  cfg.reqrsp_mode = true;
+  Pair t(cfg);
+  t.establish();
+  t.client.set_clock_skew(micros(500));  // client clock runs ahead
+  t.server.set_peer_clock_offset(micros(500));
+
+  TraceReport report;
+  t.server_ch->set_on_msg([&](Channel&, Msg&& m) {
+    EXPECT_TRUE(m.traced);
+    report = t.server.trace_request(m);
+  });
+  t.client_ch->send_msg(Buffer::make(64));
+  t.run(millis(5));
+  ASSERT_TRUE(report.traced);
+  // Corrected one-way latency is positive and in the microsecond range.
+  EXPECT_GT(report.network_latency, micros(1));
+  EXPECT_LT(report.network_latency, micros(50));
+}
+
+TEST(Channel, ManyMessagesBothDirectionsNoLossNoLeak) {
+  Pair t;
+  t.establish();
+  int c2s = 0, s2c = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&&) { ++c2s; });
+  t.client_ch->set_on_msg([&](Channel&, Msg&&) { ++s2c; });
+  for (int i = 0; i < 300; ++i) {
+    t.client_ch->send_msg(Buffer::make(static_cast<std::size_t>(i % 9000)));
+    t.server_ch->send_msg(Buffer::make(static_cast<std::size_t>(i % 7000)));
+  }
+  t.run(millis(100));
+  EXPECT_EQ(c2s, 300);
+  EXPECT_EQ(s2c, 300);
+  // All tx blocks were returned to the caches.
+  EXPECT_EQ(t.client_ch->inflight_msgs(), 0u);
+  EXPECT_EQ(t.server_ch->inflight_msgs(), 0u);
+  EXPECT_EQ(t.client.data_cache().stats().guard_violations, 0u);
+}
+
+}  // namespace
+}  // namespace xrdma::core

@@ -1,0 +1,187 @@
+// MemCache: allocation, growth/shrink, isolation canaries, and an
+// allocator property sweep.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/memcache.hpp"
+#include "testbed/cluster.hpp"
+
+namespace xrdma::core {
+namespace {
+
+struct CacheFixture : ::testing::Test {
+  testbed::Cluster cluster;
+  rnic::Rnic& nic = cluster.rnic(0);
+};
+
+TEST_F(CacheFixture, AllocGivesWritableRegisteredMemory) {
+  MemCache cache(nic);
+  MemBlock b = cache.alloc(1024);
+  ASSERT_TRUE(b.valid());
+  std::uint8_t* p = cache.data(b);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x7e, 1024);
+  EXPECT_EQ(nic.mr_ptr(b.addr, 1024), p);
+}
+
+TEST_F(CacheFixture, DistinctBlocksDoNotOverlap) {
+  MemCache cache(nic);
+  std::vector<MemBlock> blocks;
+  for (int i = 0; i < 100; ++i) blocks.push_back(cache.alloc(4096));
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      const bool disjoint =
+          blocks[i].addr + blocks[i].len <= blocks[j].addr ||
+          blocks[j].addr + blocks[j].len <= blocks[i].addr;
+      EXPECT_TRUE(disjoint) << i << " vs " << j;
+    }
+  }
+}
+
+TEST_F(CacheFixture, GrowsWhenFirstMrExhausted) {
+  MemCacheConfig cfg;
+  cfg.mr_bytes = 64 * 1024;
+  MemCache cache(nic, cfg);
+  EXPECT_EQ(cache.num_mrs(), 1u);
+  std::vector<MemBlock> blocks;
+  for (int i = 0; i < 40; ++i) {
+    MemBlock b = cache.alloc(4096);
+    ASSERT_TRUE(b.valid());
+    blocks.push_back(b);
+  }
+  EXPECT_GT(cache.num_mrs(), 1u);
+  EXPECT_GT(cache.stats().grow_events, 1u);
+}
+
+TEST_F(CacheFixture, ShrinkReleasesIdleMrs) {
+  MemCacheConfig cfg;
+  cfg.mr_bytes = 64 * 1024;
+  MemCache cache(nic, cfg);
+  std::vector<MemBlock> blocks;
+  for (int i = 0; i < 40; ++i) blocks.push_back(cache.alloc(4096));
+  const std::size_t grown = cache.num_mrs();
+  for (const auto& b : blocks) cache.free(b);
+  cache.shrink();
+  EXPECT_EQ(cache.num_mrs(), cfg.min_mrs);
+  EXPECT_LT(cache.num_mrs(), grown);
+  EXPECT_GT(cache.stats().shrink_events, 0u);
+}
+
+TEST_F(CacheFixture, InUseBytesTracksAllocFreeCycle) {
+  MemCache cache(nic);
+  EXPECT_EQ(cache.stats().in_use_bytes, 0u);
+  MemBlock a = cache.alloc(1000);
+  MemBlock b = cache.alloc(2000);
+  const std::uint64_t used = cache.stats().in_use_bytes;
+  EXPECT_GE(used, 3000u);  // plus guard bands
+  cache.free(a);
+  cache.free(b);
+  EXPECT_EQ(cache.stats().in_use_bytes, 0u);
+}
+
+TEST_F(CacheFixture, OversizedAllocationFails) {
+  MemCacheConfig cfg;
+  cfg.mr_bytes = 64 * 1024;
+  MemCache cache(nic, cfg);
+  MemBlock b = cache.alloc(128 * 1024);
+  EXPECT_FALSE(b.valid());
+  EXPECT_EQ(cache.stats().failed_allocs, 1u);
+}
+
+TEST_F(CacheFixture, IsolationDetectsOutOfBoundsWrite) {
+  MemCacheConfig cfg;
+  cfg.isolation = true;
+  MemCache cache(nic, cfg);
+  int violations = 0;
+  cache.set_violation_handler([&](const MemBlock&) { ++violations; });
+
+  MemBlock b = cache.alloc(256);
+  std::uint8_t* p = cache.data(b);
+  p[256] = 0xff;  // classic off-by-one past the buffer
+  cache.free(b);
+  EXPECT_EQ(violations, 1);
+  EXPECT_EQ(cache.stats().guard_violations, 1u);
+
+  MemBlock ok = cache.alloc(256);
+  std::memset(cache.data(ok), 1, 256);  // in-bounds is fine
+  cache.free(ok);
+  EXPECT_EQ(violations, 1);
+}
+
+TEST_F(CacheFixture, UnderflowWriteAlsoDetected) {
+  MemCache cache(nic);
+  int violations = 0;
+  cache.set_violation_handler([&](const MemBlock&) { ++violations; });
+  MemBlock b = cache.alloc(128);
+  cache.data(b)[-1] = 0;  // write before the block
+  cache.free(b);
+  EXPECT_EQ(violations, 1);
+}
+
+TEST_F(CacheFixture, CoalescingAllowsLargeAllocAfterFragmentedFrees) {
+  MemCacheConfig cfg;
+  cfg.mr_bytes = 1u << 20;
+  cfg.max_mrs = 1;  // force reuse of the single MR
+  cfg.isolation = false;
+  MemCache cache(nic, cfg);
+  std::vector<MemBlock> blocks;
+  for (int i = 0; i < 16; ++i) blocks.push_back(cache.alloc(60 * 1024));
+  EXPECT_FALSE(cache.alloc(120 * 1024).valid());
+  // Free two adjacent blocks: coalescing must make room for a double-size
+  // allocation.
+  cache.free(blocks[3]);
+  cache.free(blocks[4]);
+  EXPECT_TRUE(cache.alloc(120 * 1024).valid());
+}
+
+// Allocator property sweep: random alloc/free sequences preserve
+// accounting and never hand out overlapping blocks.
+class MemCacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemCacheProperty, RandomAllocFreeKeepsInvariants) {
+  testbed::Cluster cluster;
+  MemCacheConfig cfg;
+  cfg.mr_bytes = 256 * 1024;
+  MemCache cache(cluster.rnic(0), cfg);
+  Rng rng(GetParam());
+
+  struct Live {
+    MemBlock block;
+  };
+  std::vector<Live> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.chance(0.55)) {
+      const std::uint32_t len =
+          static_cast<std::uint32_t>(rng.uniform(1, 32 * 1024));
+      MemBlock b = cache.alloc(len);
+      if (!b.valid()) continue;
+      // No overlap with any live block.
+      for (const auto& l : live) {
+        const bool disjoint = b.addr + b.len <= l.block.addr ||
+                              l.block.addr + l.block.len <= b.addr;
+        ASSERT_TRUE(disjoint);
+      }
+      live.push_back({b});
+    } else {
+      const std::size_t i =
+          static_cast<std::size_t>(rng.next_below(live.size()));
+      cache.free(live[i].block);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  for (const auto& l : live) cache.free(l.block);
+  EXPECT_EQ(cache.stats().in_use_bytes, 0u);
+  EXPECT_EQ(cache.stats().guard_violations, 0u);
+  cache.shrink();
+  EXPECT_EQ(cache.num_mrs(), cfg.min_mrs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemCacheProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace xrdma::core

@@ -1,0 +1,119 @@
+// DCQCN rate controller unit tests — including a regression for the
+// recovery deadlock where a flow at minimum rate never advanced its byte
+// counter and therefore never left fast recovery.
+#include <gtest/gtest.h>
+
+#include "rnic/dcqcn.hpp"
+
+namespace xrdma::rnic {
+namespace {
+
+DcqcnConfig test_config() {
+  DcqcnConfig cfg;
+  return cfg;
+}
+
+TEST(Dcqcn, StartsAtLineRate) {
+  Dcqcn d(test_config(), 25.0);
+  EXPECT_DOUBLE_EQ(d.current_rate_gbps(), 25.0);
+  EXPECT_TRUE(d.at_line_rate());
+}
+
+TEST(Dcqcn, DisabledPassesThrough) {
+  DcqcnConfig cfg;
+  cfg.enabled = false;
+  Dcqcn d(cfg, 25.0);
+  d.on_cnp(micros(10));
+  EXPECT_DOUBLE_EQ(d.current_rate_gbps(), 25.0);
+  EXPECT_EQ(d.pace(micros(20), 100000), micros(20));  // no pacing delay
+}
+
+TEST(Dcqcn, CnpCutsRateMultiplicatively) {
+  Dcqcn d(test_config(), 25.0);
+  d.on_cnp(micros(100));
+  // alpha starts at 1: cut by alpha/2 = 50%.
+  EXPECT_NEAR(d.current_rate_gbps(), 12.5, 0.01);
+  EXPECT_FALSE(d.at_line_rate());
+}
+
+TEST(Dcqcn, CutsAreRateLimited) {
+  Dcqcn d(test_config(), 25.0);
+  d.on_cnp(micros(100));
+  const double after_first = d.current_rate_gbps();
+  d.on_cnp(micros(110));  // within the 50 us min interval: ignored
+  EXPECT_DOUBLE_EQ(d.current_rate_gbps(), after_first);
+  d.on_cnp(micros(160));  // past the interval: cuts again
+  EXPECT_LT(d.current_rate_gbps(), after_first);
+}
+
+TEST(Dcqcn, NeverBelowMinRate) {
+  DcqcnConfig cfg;
+  Dcqcn d(cfg, 25.0);
+  for (int i = 0; i < 100; ++i) {
+    d.on_cnp(micros(100) + i * micros(60));
+  }
+  EXPECT_GE(d.current_rate_gbps(), cfg.min_rate_gbps);
+}
+
+TEST(Dcqcn, PaceSpacesPacketsAtCurrentRate) {
+  Dcqcn d(test_config(), 25.0);
+  d.on_cnp(micros(100));  // 12.5 Gbps
+  const Nanos t1 = d.pace(micros(200), 12500);  // 12500B at 12.5G = 8 us
+  EXPECT_EQ(t1, micros(200));
+  const Nanos t2 = d.pace(micros(200), 12500);
+  EXPECT_EQ(t2 - t1, micros(8));
+}
+
+TEST(Dcqcn, TimerDrivenRecoveryReachesLineRateWithoutTraffic) {
+  // Regression: a throttled flow that sends (almost) nothing must still
+  // recover through the timer-stage additive increase — with the broken
+  // min() stage logic it stayed at the floor forever.
+  DcqcnConfig cfg;
+  Dcqcn d(cfg, 25.0);
+  for (int i = 0; i < 20; ++i) d.on_cnp(micros(100) + i * micros(60));
+  EXPECT_LT(d.current_rate_gbps(), 1.0);
+  // Let the increase timer run for 100 ms of quiet.
+  d.advance(millis(150));
+  EXPECT_GT(d.current_rate_gbps(), 20.0);
+}
+
+TEST(Dcqcn, AlphaDecaysWithoutCnps) {
+  DcqcnConfig cfg;
+  Dcqcn d(cfg, 25.0);
+  d.on_cnp(micros(100));
+  const double a1 = d.alpha();
+  EXPECT_GT(a1, 0.9);  // (1-g)*1 + g with g=1/16
+  d.advance(millis(10));  // many alpha periods without CNPs
+  EXPECT_LT(d.alpha(), 0.2);
+}
+
+TEST(Dcqcn, SecondCutShallowerAfterAlphaDecay) {
+  DcqcnConfig cfg;
+  Dcqcn d(cfg, 25.0);
+  d.on_cnp(micros(100));
+  const double r1 = d.current_rate_gbps();  // 50% cut (alpha=1)
+  d.advance(millis(20));                    // alpha decays, rate recovers
+  const double before_second = d.current_rate_gbps();
+  d.on_cnp(millis(21));
+  const double cut_fraction = 1.0 - d.current_rate_gbps() / before_second;
+  EXPECT_LT(cut_fraction, 0.25);  // shallower than the first 50% cut
+  EXPECT_NEAR(r1, 12.5, 0.1);
+}
+
+TEST(Dcqcn, ByteCounterAdvancesStagesUnderTraffic) {
+  DcqcnConfig cfg;
+  cfg.increase_bytes = 1 << 20;  // 1 MB stages for the test
+  Dcqcn d(cfg, 25.0);
+  d.on_cnp(micros(100));
+  const double throttled = d.current_rate_gbps();
+  // Push 32 MB through: byte-counter stages plus timer stages.
+  Nanos t = micros(200);
+  for (int i = 0; i < 8192; ++i) {
+    t = d.pace(t, 4096) + transmission_time(4096, d.current_rate_gbps());
+    d.advance(t);
+  }
+  EXPECT_GT(d.current_rate_gbps(), throttled * 1.5);
+}
+
+}  // namespace
+}  // namespace xrdma::rnic
