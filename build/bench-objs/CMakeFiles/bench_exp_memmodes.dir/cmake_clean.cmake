@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_exp_memmodes"
+  "../bench/bench_exp_memmodes.pdb"
+  "CMakeFiles/bench_exp_memmodes.dir/bench_exp_memmodes.cpp.o"
+  "CMakeFiles/bench_exp_memmodes.dir/bench_exp_memmodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_memmodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

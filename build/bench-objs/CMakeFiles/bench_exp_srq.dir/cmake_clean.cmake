@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_exp_srq"
+  "../bench/bench_exp_srq.pdb"
+  "CMakeFiles/bench_exp_srq.dir/bench_exp_srq.cpp.o"
+  "CMakeFiles/bench_exp_srq.dir/bench_exp_srq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_srq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

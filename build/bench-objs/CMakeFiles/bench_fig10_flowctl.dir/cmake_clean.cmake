@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_flowctl"
+  "../bench/bench_fig10_flowctl.pdb"
+  "CMakeFiles/bench_fig10_flowctl.dir/bench_fig10_flowctl.cpp.o"
+  "CMakeFiles/bench_fig10_flowctl.dir/bench_fig10_flowctl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_flowctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

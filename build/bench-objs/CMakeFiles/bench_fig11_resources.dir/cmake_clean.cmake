@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_resources"
+  "../bench/bench_fig11_resources.pdb"
+  "CMakeFiles/bench_fig11_resources.dir/bench_fig11_resources.cpp.o"
+  "CMakeFiles/bench_fig11_resources.dir/bench_fig11_resources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

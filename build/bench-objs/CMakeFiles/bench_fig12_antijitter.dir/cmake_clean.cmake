@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_antijitter"
+  "../bench/bench_fig12_antijitter.pdb"
+  "CMakeFiles/bench_fig12_antijitter.dir/bench_fig12_antijitter.cpp.o"
+  "CMakeFiles/bench_fig12_antijitter.dir/bench_fig12_antijitter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_antijitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

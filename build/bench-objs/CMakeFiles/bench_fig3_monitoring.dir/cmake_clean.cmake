@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_monitoring"
+  "../bench/bench_fig3_monitoring.pdb"
+  "CMakeFiles/bench_fig3_monitoring.dir/bench_fig3_monitoring.cpp.o"
+  "CMakeFiles/bench_fig3_monitoring.dir/bench_fig3_monitoring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_establishment"
+  "../bench/bench_fig8_establishment.pdb"
+  "CMakeFiles/bench_fig8_establishment.dir/bench_fig8_establishment.cpp.o"
+  "CMakeFiles/bench_fig8_establishment.dir/bench_fig8_establishment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_establishment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_rnr"
+  "../bench/bench_fig9_rnr.pdb"
+  "CMakeFiles/bench_fig9_rnr.dir/bench_fig9_rnr.cpp.o"
+  "CMakeFiles/bench_fig9_rnr.dir/bench_fig9_rnr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_rnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

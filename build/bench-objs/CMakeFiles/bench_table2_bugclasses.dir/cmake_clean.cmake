@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_bugclasses"
+  "../bench/bench_table2_bugclasses.pdb"
+  "CMakeFiles/bench_table2_bugclasses.dir/bench_table2_bugclasses.cpp.o"
+  "CMakeFiles/bench_table2_bugclasses.dir/bench_table2_bugclasses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_bugclasses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_admin_tuning.dir/admin_tuning.cpp.o"
+  "CMakeFiles/example_admin_tuning.dir/admin_tuning.cpp.o.d"
+  "example_admin_tuning"
+  "example_admin_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_admin_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

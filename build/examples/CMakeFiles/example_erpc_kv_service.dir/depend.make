@@ -1,0 +1,2 @@
+# Empty dependencies file for example_erpc_kv_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_loc_comparison_verbs.dir/loc_comparison_verbs.cpp.o"
+  "CMakeFiles/example_loc_comparison_verbs.dir/loc_comparison_verbs.cpp.o.d"
+  "example_loc_comparison_verbs"
+  "example_loc_comparison_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_loc_comparison_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

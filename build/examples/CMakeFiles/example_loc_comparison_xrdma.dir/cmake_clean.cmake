@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_loc_comparison_xrdma.dir/loc_comparison_xrdma.cpp.o"
+  "CMakeFiles/example_loc_comparison_xrdma.dir/loc_comparison_xrdma.cpp.o.d"
+  "example_loc_comparison_xrdma"
+  "example_loc_comparison_xrdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_loc_comparison_xrdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

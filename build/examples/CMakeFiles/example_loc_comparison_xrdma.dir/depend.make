@@ -1,0 +1,2 @@
+# Empty dependencies file for example_loc_comparison_xrdma.
+# This may be replaced when dependencies are built.

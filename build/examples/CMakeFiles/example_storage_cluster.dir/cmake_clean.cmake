@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_storage_cluster.dir/storage_cluster.cpp.o"
+  "CMakeFiles/example_storage_cluster.dir/storage_cluster.cpp.o.d"
+  "example_storage_cluster"
+  "example_storage_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_storage_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tcp_fallback.dir/tcp_fallback.cpp.o"
+  "CMakeFiles/example_tcp_fallback.dir/tcp_fallback.cpp.o.d"
+  "example_tcp_fallback"
+  "example_tcp_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tcp_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clock_sync.cpp" "src/CMakeFiles/xrdma.dir/analysis/clock_sync.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/analysis/clock_sync.cpp.o.d"
+  "/root/repo/src/analysis/mock.cpp" "src/CMakeFiles/xrdma.dir/analysis/mock.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/analysis/mock.cpp.o.d"
+  "/root/repo/src/analysis/monitor.cpp" "src/CMakeFiles/xrdma.dir/analysis/monitor.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/analysis/monitor.cpp.o.d"
+  "/root/repo/src/apps/erpc.cpp" "src/CMakeFiles/xrdma.dir/apps/erpc.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/apps/erpc.cpp.o.d"
+  "/root/repo/src/apps/pangu.cpp" "src/CMakeFiles/xrdma.dir/apps/pangu.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/apps/pangu.cpp.o.d"
+  "/root/repo/src/apps/xdb.cpp" "src/CMakeFiles/xrdma.dir/apps/xdb.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/apps/xdb.cpp.o.d"
+  "/root/repo/src/baselines/am_middleware.cpp" "src/CMakeFiles/xrdma.dir/baselines/am_middleware.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/baselines/am_middleware.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/xrdma.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/xrdma.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/xrdma.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/xrdma.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/xrdma.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/CMakeFiles/xrdma.dir/common/time.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/common/time.cpp.o.d"
+  "/root/repo/src/core/channel.cpp" "src/CMakeFiles/xrdma.dir/core/channel.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/core/channel.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/xrdma.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/CMakeFiles/xrdma.dir/core/context.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/core/context.cpp.o.d"
+  "/root/repo/src/core/memcache.cpp" "src/CMakeFiles/xrdma.dir/core/memcache.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/core/memcache.cpp.o.d"
+  "/root/repo/src/core/msg.cpp" "src/CMakeFiles/xrdma.dir/core/msg.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/core/msg.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/xrdma.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/rnic/rnic.cpp" "src/CMakeFiles/xrdma.dir/rnic/rnic.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/rnic/rnic.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/xrdma.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/tcpsim/tcp.cpp" "src/CMakeFiles/xrdma.dir/tcpsim/tcp.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/tcpsim/tcp.cpp.o.d"
+  "/root/repo/src/testbed/cluster.cpp" "src/CMakeFiles/xrdma.dir/testbed/cluster.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/testbed/cluster.cpp.o.d"
+  "/root/repo/src/tools/xr_adm.cpp" "src/CMakeFiles/xrdma.dir/tools/xr_adm.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/tools/xr_adm.cpp.o.d"
+  "/root/repo/src/tools/xr_perf.cpp" "src/CMakeFiles/xrdma.dir/tools/xr_perf.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/tools/xr_perf.cpp.o.d"
+  "/root/repo/src/tools/xr_ping.cpp" "src/CMakeFiles/xrdma.dir/tools/xr_ping.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/tools/xr_ping.cpp.o.d"
+  "/root/repo/src/tools/xr_server.cpp" "src/CMakeFiles/xrdma.dir/tools/xr_server.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/tools/xr_server.cpp.o.d"
+  "/root/repo/src/tools/xr_stat.cpp" "src/CMakeFiles/xrdma.dir/tools/xr_stat.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/tools/xr_stat.cpp.o.d"
+  "/root/repo/src/verbs/cm.cpp" "src/CMakeFiles/xrdma.dir/verbs/cm.cpp.o" "gcc" "src/CMakeFiles/xrdma.dir/verbs/cm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_extra_test.dir/apps_extra_test.cpp.o"
+  "CMakeFiles/apps_extra_test.dir/apps_extra_test.cpp.o.d"
+  "apps_extra_test"
+  "apps_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpc_xrserver_test.dir/erpc_xrserver_test.cpp.o"
+  "CMakeFiles/erpc_xrserver_test.dir/erpc_xrserver_test.cpp.o.d"
+  "erpc_xrserver_test"
+  "erpc_xrserver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpc_xrserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

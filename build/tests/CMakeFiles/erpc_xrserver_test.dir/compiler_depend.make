@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for erpc_xrserver_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpsim_test.dir/tcpsim_test.cpp.o"
+  "CMakeFiles/tcpsim_test.dir/tcpsim_test.cpp.o.d"
+  "tcpsim_test"
+  "tcpsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

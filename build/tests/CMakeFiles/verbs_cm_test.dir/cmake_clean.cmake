@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_cm_test.dir/verbs_cm_test.cpp.o"
+  "CMakeFiles/verbs_cm_test.dir/verbs_cm_test.cpp.o.d"
+  "verbs_cm_test"
+  "verbs_cm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_cm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
