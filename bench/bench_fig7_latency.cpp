@@ -4,8 +4,10 @@
 // §VII-A headline numbers: X-RDMA ~5.60 us vs ucx 5.87 vs libfabric 6.20,
 // tracing overhead 2-4%, and the large-vs-small mode gap (~40% at tiny
 // sizes, small beyond 128 B).
+#include "analysis/trace.hpp"
 #include "baselines/am_middleware.hpp"
 #include "bench/bench_util.hpp"
+#include "tools/xr_stat.hpp"
 
 using namespace xrdma;
 using namespace xrdma::bench;
@@ -94,5 +96,35 @@ int main() {
                   to_micros(small64));
   std::printf("large vs small @512B: %+.2f us   (paper: <=1.4us beyond 128B)\n",
               to_micros(large256 - small256));
+
+  // Per-stage latency decomposition (§VI-A): req-rsp traced RPCs through
+  // the SpanCollector, reported via xr_perf --decompose / xr_stat --trace.
+  print_header("Fig. 7 — 64B RPC latency decomposition (req-rsp tracing)");
+  {
+    XrPair pair(mode_reqrsp());
+    if (!pair.client_ch || !pair.server_ch) return 1;
+    analysis::SpanCollector spans;
+    spans.attach(pair.client);
+    spans.attach(pair.server);
+    tools::perf_echo_responder(*pair.server_ch);
+    tools::PerfOptions opts;
+    opts.total_msgs = 500;
+    opts.msg_size = 64;
+    opts.rpc_timeout = millis(500);
+    opts.decompose = true;
+    opts.spans = &spans;
+    tools::PerfReport report;
+    bool done = false;
+    tools::xr_perf(*pair.client_ch, opts, [&](tools::PerfReport r) {
+      report = std::move(r);
+      done = true;
+    });
+    pair.run_until([&] { return done; }, seconds(5));
+    std::printf("%s\n", report.summary().c_str());
+    std::printf("%s", tools::xr_stat_trace(spans).c_str());
+    std::printf("\npoll watchdog:\n%s",
+                analysis::poll_watchdog_report({&pair.client, &pair.server})
+                    .c_str());
+  }
   return 0;
 }

@@ -1,0 +1,153 @@
+#include "analysis/metrics.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace xrdma::analysis {
+
+bool MetricsRegistry::has(const std::string& name) const {
+  return counters_.count(name) || gauges_.count(name) ||
+         histograms_.count(name);
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return static_cast<double>(it->second);
+  }
+  if (auto it = gauges_.find(name); it != gauges_.end()) return it->second;
+  return 0;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [n, v] : counters_) out.push_back(n);
+  for (const auto& [n, v] : gauges_) out.push_back(n);
+  for (const auto& [n, v] : histograms_) out.push_back(n);
+  return out;
+}
+
+double MetricsRegistry::Snapshot::value(const std::string& name) const {
+  auto it = values.find(name);
+  return it == values.end() ? 0 : it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  for (const auto& [n, v] : counters_) {
+    s.values[n] = static_cast<double>(v);
+  }
+  for (const auto& [n, v] : gauges_) s.values[n] = v;
+  return s;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::delta_since(
+    const Snapshot& prev) const {
+  Snapshot now = snapshot();
+  for (auto& [name, v] : now.values) v -= prev.value(name);
+  return now;
+}
+
+std::string MetricsRegistry::render() const {
+  std::ostringstream os;
+  for (const auto& [n, v] : counters_) {
+    os << strfmt("%-32s %llu\n", n.c_str(),
+                 static_cast<unsigned long long>(v));
+  }
+  for (const auto& [n, v] : gauges_) {
+    os << strfmt("%-32s %.3f\n", n.c_str(), v);
+  }
+  for (const auto& [n, h] : histograms_) {
+    os << strfmt("%-32s %s\n", n.c_str(), h.summary().c_str());
+  }
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void ContextMetrics::refresh() {
+  const Nanos now = ctx_.engine().now();
+  if (now == last_refresh_) return;
+  last_refresh_ = now;
+
+  core::ChannelStats agg;
+  std::size_t established = 0;
+  std::size_t inflight = 0, queued = 0;
+  for (core::Channel* ch : ctx_.channels()) {
+    const auto& s = ch->stats();
+    agg.msgs_tx += s.msgs_tx;
+    agg.msgs_rx += s.msgs_rx;
+    agg.bytes_tx += s.bytes_tx;
+    agg.bytes_rx += s.bytes_rx;
+    agg.large_msgs_tx += s.large_msgs_tx;
+    agg.large_msgs_rx += s.large_msgs_rx;
+    agg.acks_tx += s.acks_tx;
+    agg.acks_rx += s.acks_rx;
+    agg.nops_tx += s.nops_tx;
+    agg.nops_rx += s.nops_rx;
+    agg.keepalive_probes += s.keepalive_probes;
+    agg.window_stalls += s.window_stalls;
+    agg.flowctl_queued += s.flowctl_queued;
+    agg.reads_issued += s.reads_issued;
+    agg.rpc_calls += s.rpc_calls;
+    agg.rpc_timeouts += s.rpc_timeouts;
+    agg.bad_messages += s.bad_messages;
+    agg.filtered_drops += s.filtered_drops;
+    agg.mock_tx += s.mock_tx;
+    if (ch->usable()) ++established;
+    inflight += ch->inflight_msgs();
+    queued += ch->queued_msgs();
+  }
+  reg_.counter("chan.msgs_tx") = agg.msgs_tx;
+  reg_.counter("chan.msgs_rx") = agg.msgs_rx;
+  reg_.counter("chan.bytes_tx") = agg.bytes_tx;
+  reg_.counter("chan.bytes_rx") = agg.bytes_rx;
+  reg_.counter("chan.large_msgs_tx") = agg.large_msgs_tx;
+  reg_.counter("chan.large_msgs_rx") = agg.large_msgs_rx;
+  reg_.counter("chan.acks_tx") = agg.acks_tx;
+  reg_.counter("chan.nops_tx") = agg.nops_tx;
+  reg_.counter("chan.keepalive_probes") = agg.keepalive_probes;
+  reg_.counter("chan.window_stalls") = agg.window_stalls;
+  reg_.counter("chan.flowctl_queued") = agg.flowctl_queued;
+  reg_.counter("chan.reads_issued") = agg.reads_issued;
+  reg_.counter("chan.rpc_calls") = agg.rpc_calls;
+  reg_.counter("chan.rpc_timeouts") = agg.rpc_timeouts;
+  reg_.counter("chan.bad_messages") = agg.bad_messages;
+  reg_.counter("chan.filtered_drops") = agg.filtered_drops;
+  reg_.counter("chan.mock_tx") = agg.mock_tx;
+  reg_.gauge("chan.established") = static_cast<double>(established);
+  reg_.gauge("chan.inflight") = static_cast<double>(inflight);
+  reg_.gauge("chan.queued") = static_cast<double>(queued);
+
+  const auto& cs = ctx_.stats();
+  reg_.counter("ctx.polls") = cs.polls;
+  reg_.counter("ctx.empty_polls") = cs.empty_polls;
+  reg_.counter("ctx.slow_polls") = cs.slow_polls;
+  reg_.counter("ctx.events_processed") = cs.events_processed;
+  reg_.counter("ctx.parks") = cs.parks;
+  reg_.counter("ctx.wakeups") = cs.wakeups;
+  reg_.counter("ctx.channels_opened") = cs.channels_opened;
+  reg_.counter("ctx.channels_closed") = cs.channels_closed;
+  reg_.counter("ctx.channel_errors") = cs.channel_errors;
+  reg_.gauge("ctx.worst_poll_gap_us") = to_micros(cs.worst_poll_gap);
+  reg_.histogram("ctx.rpc_latency") = cs.rpc_latency;
+
+  const auto& ctrl = ctx_.ctrl_cache().stats();
+  const auto& data = ctx_.data_cache().stats();
+  reg_.gauge("mem.occupied_mb") =
+      static_cast<double>(ctrl.occupied_bytes + data.occupied_bytes) / 1e6;
+  reg_.gauge("mem.in_use_mb") =
+      static_cast<double>(ctrl.in_use_bytes + data.in_use_bytes) / 1e6;
+}
+
+}  // namespace xrdma::analysis

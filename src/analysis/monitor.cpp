@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "analysis/metrics.hpp"
+
 namespace xrdma::analysis {
 
 double Series::max() const {
@@ -26,13 +28,16 @@ double Series::mean() const {
 }
 
 double Series::cov() const {
+  // Degenerate series (empty, single-sample, zero-mean) have no defined
+  // coefficient of variation; report "no jitter" instead of NaN/inf or a
+  // sign flip on negative-mean series.
   if (samples.size() < 2) return 0;
   const double mu = mean();
   if (mu == 0) return 0;
   double var = 0;
   for (const auto& s : samples) var += (s.value - mu) * (s.value - mu);
   var /= static_cast<double>(samples.size());
-  return std::sqrt(var) / mu;
+  return std::sqrt(var) / std::abs(mu);
 }
 
 Monitor::Monitor(sim::Engine& engine, Nanos period)
@@ -50,6 +55,10 @@ Monitor::~Monitor() {
 void Monitor::track(const std::string& name, std::function<double()> sampler) {
   samplers_.emplace_back(name, std::move(sampler));
   series_[name].name = name;
+}
+
+void Monitor::track_metric(ContextMetrics& metrics, const std::string& name) {
+  track(name, [&metrics, name] { return metrics.registry().value(name); });
 }
 
 void Monitor::start() { timer_.start(); }

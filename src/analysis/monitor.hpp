@@ -19,6 +19,8 @@
 
 namespace xrdma::analysis {
 
+class ContextMetrics;
+
 struct Sample {
   Nanos at = 0;
   double value = 0;
@@ -46,6 +48,11 @@ class Monitor {
 
   /// Register a sampler; polled every period once start()ed.
   void track(const std::string& name, std::function<double()> sampler);
+  /// Track one scalar (counter/gauge) out of a context's MetricsRegistry
+  /// bridge — the same source XR-Stat and XR-Perf read. `metrics` must
+  /// outlive the monitor; refresh is per-tick idempotent, so tracking many
+  /// names on one bridge costs one stats sweep per sample.
+  void track_metric(ContextMetrics& metrics, const std::string& name);
   void start();
   void stop();
   /// Take one sample of everything right now (benches call this at exact

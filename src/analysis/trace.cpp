@@ -1,0 +1,220 @@
+#include "analysis/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace xrdma::analysis {
+
+void SpanCollector::attach(core::Context& ctx) { ctx.set_span_sink(this); }
+
+void SpanCollector::set_node_offset(net::NodeId node, Nanos offset) {
+  offsets_[node] = offset;
+}
+
+Nanos SpanCollector::node_offset(net::NodeId node) const {
+  auto it = offsets_.find(node);
+  return it == offsets_.end() ? 0 : it->second;
+}
+
+Nanos SpanCollector::corrected(net::NodeId node, Nanos t) const {
+  return t - node_offset(node);
+}
+
+SpanChain& SpanCollector::chain_for(std::uint64_t trace_id) {
+  auto it = index_.find(trace_id);
+  if (it != index_.end()) return chains_[it->second];
+  index_[trace_id] = chains_.size();
+  chains_.emplace_back();
+  chains_.back().trace_id = trace_id;
+  return chains_.back();
+}
+
+void SpanCollector::on_span_post(const core::SpanPostEvent& ev) {
+  SpanChain& c = chain_for(ev.trace_id);
+  if (ev.is_rpc_rsp) {
+    c.rsp_t_post = ev.t_post;
+    c.rsp_t_wire = ev.t_wire;
+    c.rsp_bytes = ev.bytes;
+    c.has_rsp_post = true;
+    // The responder is the request's receiver; fill in if the request
+    // half was not observed (collector attached server-side only).
+    if (c.dst == net::kInvalidNode) c.dst = ev.node;
+    if (c.src == net::kInvalidNode) c.src = ev.peer;
+  } else {
+    c.t_post = ev.t_post;
+    c.t_wire = ev.t_wire;
+    c.req_bytes = ev.bytes;
+    c.has_post = true;
+    c.src = ev.node;
+    c.dst = ev.peer;
+    if (ev.is_rpc_req) c.is_rpc = true;
+  }
+}
+
+void SpanCollector::on_span_deliver(const core::SpanDeliverEvent& ev) {
+  SpanChain& c = chain_for(ev.trace_id);
+  if (ev.is_rpc_rsp) {
+    c.rsp_t_arrive = ev.t_arrive;
+    c.rsp_t_deliver = ev.t_deliver;
+    c.rsp_bytes = ev.bytes;
+    c.has_rsp_deliver = true;
+    if (c.src == net::kInvalidNode) c.src = ev.node;
+    if (c.dst == net::kInvalidNode) c.dst = ev.peer;
+  } else {
+    c.t_arrive = ev.t_arrive;
+    c.t_deliver = ev.t_deliver;
+    c.req_bytes = ev.bytes;
+    c.has_deliver = true;
+    if (c.dst == net::kInvalidNode) c.dst = ev.node;
+    if (c.src == net::kInvalidNode) c.src = ev.peer;
+    if (ev.is_rpc_req) c.is_rpc = true;
+  }
+}
+
+std::size_t SpanCollector::complete_chains() const {
+  std::size_t n = 0;
+  for (const auto& c : chains_) n += c.complete() ? 1 : 0;
+  return n;
+}
+
+const SpanChain* SpanCollector::find(std::uint64_t trace_id) const {
+  auto it = index_.find(trace_id);
+  return it == index_.end() ? nullptr : &chains_[it->second];
+}
+
+void SpanCollector::clear() {
+  chains_.clear();
+  index_.clear();
+}
+
+std::vector<Stage> SpanCollector::decompose(const SpanChain& c) const {
+  std::vector<Stage> out;
+  if (!c.forward_complete()) return out;
+  // Stages partition [t_post, end] on the corrected timeline, so the
+  // cross-host corrections cancel pairwise and the durations telescope to
+  // total() exactly when the registered offsets are exact.
+  out.push_back({"post", c.t_wire - c.t_post});
+  out.push_back(
+      {"wire", corrected(c.dst, c.t_arrive) - corrected(c.src, c.t_wire)});
+  out.push_back({"pickup", c.t_deliver - c.t_arrive});
+  if (!c.rpc_complete()) return out;
+  out.push_back({"handler", c.rsp_t_post - c.t_deliver});
+  out.push_back({"rsp_post", c.rsp_t_wire - c.rsp_t_post});
+  out.push_back({"rsp_wire", corrected(c.src, c.rsp_t_arrive) -
+                                 corrected(c.dst, c.rsp_t_wire)});
+  out.push_back({"rsp_pickup", c.rsp_t_deliver - c.rsp_t_arrive});
+  return out;
+}
+
+Nanos SpanCollector::total(const SpanChain& c) const {
+  if (c.rpc_complete()) return c.rsp_t_deliver - c.t_post;  // same clock
+  if (c.forward_complete()) {
+    return corrected(c.dst, c.t_deliver) - corrected(c.src, c.t_post);
+  }
+  return 0;
+}
+
+void SpanCollector::publish(MetricsRegistry& reg) const {
+  for (const auto& c : chains_) {
+    if (!c.complete()) continue;
+    for (const Stage& s : decompose(c)) {
+      reg.histogram(std::string("trace.") + s.name).record(s.duration);
+    }
+    reg.histogram("trace.total").record(total(c));
+    ++reg.counter("trace.chains");
+  }
+}
+
+std::string SpanCollector::decomposition_report() const {
+  MetricsRegistry reg;
+  publish(reg);
+  static const char* kOrder[] = {"post",     "wire",     "pickup",
+                                 "handler",  "rsp_post", "rsp_wire",
+                                 "rsp_pickup", "total"};
+  std::ostringstream os;
+  os << strfmt("%-12s %8s %10s %10s %10s %10s\n", "stage", "n", "p50(us)",
+               "p99(us)", "mean(us)", "max(us)");
+  for (const char* stage : kOrder) {
+    const Histogram* h = reg.find_histogram(std::string("trace.") + stage);
+    if (!h || h->count() == 0) continue;
+    os << strfmt("%-12s %8llu %10.2f %10.2f %10.2f %10.2f\n", stage,
+                 static_cast<unsigned long long>(h->count()),
+                 to_micros(h->percentile(50)), to_micros(h->percentile(99)),
+                 h->mean() / 1e3, to_micros(h->max()));
+  }
+  return os.str();
+}
+
+std::string SpanCollector::chrome_trace_json() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& c : chains_) {
+    if (!c.complete()) continue;
+    // Per-stage start times and owning hosts on the corrected timeline.
+    struct Ev {
+      const char* name;
+      net::NodeId pid;
+      Nanos start;
+      Nanos dur;
+    };
+    std::vector<Ev> evs;
+    evs.push_back({"post", c.src, corrected(c.src, c.t_post),
+                   c.t_wire - c.t_post});
+    evs.push_back({"wire", c.src, corrected(c.src, c.t_wire),
+                   corrected(c.dst, c.t_arrive) - corrected(c.src, c.t_wire)});
+    evs.push_back({"pickup", c.dst, corrected(c.dst, c.t_arrive),
+                   c.t_deliver - c.t_arrive});
+    if (c.rpc_complete()) {
+      evs.push_back({"handler", c.dst, corrected(c.dst, c.t_deliver),
+                     c.rsp_t_post - c.t_deliver});
+      evs.push_back({"rsp_post", c.dst, corrected(c.dst, c.rsp_t_post),
+                     c.rsp_t_wire - c.rsp_t_post});
+      evs.push_back({"rsp_wire", c.dst, corrected(c.dst, c.rsp_t_wire),
+                     corrected(c.src, c.rsp_t_arrive) -
+                         corrected(c.dst, c.rsp_t_wire)});
+      evs.push_back({"rsp_pickup", c.src, corrected(c.src, c.rsp_t_arrive),
+                     c.rsp_t_deliver - c.rsp_t_arrive});
+    }
+    for (const Ev& e : evs) {
+      if (!first) os << ",";
+      first = false;
+      // tid folds the trace id into chrome's int range; the full id rides
+      // in args. Negative durations (inexact offsets) are clamped.
+      os << strfmt(
+          "{\"name\":\"%s\",\"cat\":\"xrdma\",\"ph\":\"X\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%llu,"
+          "\"args\":{\"trace_id\":\"0x%llx\",\"bytes\":%u}}",
+          e.name, to_micros(e.start),
+          to_micros(std::max<Nanos>(e.dur, 0)), e.pid,
+          static_cast<unsigned long long>(c.trace_id & 0xffffffu),
+          static_cast<unsigned long long>(c.trace_id),
+          e.name[0] == 'r' || e.name[0] == 'h' ? c.rsp_bytes : c.req_bytes);
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string poll_watchdog_report(const std::vector<core::Context*>& ctxs) {
+  std::ostringstream os;
+  os << strfmt("%-6s %12s %12s %12s %14s %14s %-8s\n", "node", "polls",
+               "empty", "slow_polls", "worst_gap", "warn_cycle", "verdict");
+  for (core::Context* ctx : ctxs) {
+    if (!ctx) continue;
+    const auto& cs = ctx->stats();
+    const bool stalled = cs.slow_polls > 0;
+    os << strfmt("%-6u %12llu %12llu %12llu %14s %14s %-8s\n", ctx->node(),
+                 static_cast<unsigned long long>(cs.polls),
+                 static_cast<unsigned long long>(cs.empty_polls),
+                 static_cast<unsigned long long>(cs.slow_polls),
+                 format_duration(cs.worst_poll_gap).c_str(),
+                 format_duration(ctx->config().polling_warn_cycle).c_str(),
+                 stalled ? "STALL" : "OK");
+  }
+  return os.str();
+}
+
+}  // namespace xrdma::analysis

@@ -1,0 +1,125 @@
+// Latency-decomposition tracing (§VI-A): stamp → collection →
+// decomposition → export.
+//
+// The SpanCollector is the analysis-side sink for the raw span events the
+// data plane emits (core/span.hpp). It stitches the request and response
+// halves of each traced message into one chain keyed by trace_id,
+// corrects cross-host timestamps with the clock-sync offsets, and
+// decomposes every complete chain into the paper's stages:
+//
+//   post       sender software send path (enqueue -> WR at the NIC)
+//   wire       NIC + fabric (WR posted -> first byte at the receiver)
+//   pickup     receiver poll pickup + assembly (arrive -> delivered)
+//   handler    server application time (delivered -> response posted)
+//   rsp_post / rsp_wire / rsp_pickup   the response's same three stages
+//   total      end-to-end (request posted -> response delivered; for
+//              one-way messages, request posted -> delivered)
+//
+// Exporters: per-stage p50/p99 histograms published into a
+// MetricsRegistry ("trace.<stage>"), a plain-text decomposition report,
+// a chrome://tracing JSON timeline, and a poll-gap watchdog report built
+// on ContextStats::slow_polls.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "core/context.hpp"
+#include "core/span.hpp"
+
+namespace xrdma::analysis {
+
+/// One traced message (plus, for RPC, its response) reassembled from the
+/// raw span events. All stamps are the emitting host's local clock.
+struct SpanChain {
+  std::uint64_t trace_id = 0;
+  net::NodeId src = net::kInvalidNode;  // request sender
+  net::NodeId dst = net::kInvalidNode;  // request receiver
+  std::uint32_t req_bytes = 0;
+  std::uint32_t rsp_bytes = 0;
+  bool is_rpc = false;  // request half carried kFlagRpcReq
+
+  // Request (or one-way message) half.
+  Nanos t_post = 0, t_wire = 0, t_arrive = 0, t_deliver = 0;
+  // Response half (RPC only).
+  Nanos rsp_t_post = 0, rsp_t_wire = 0, rsp_t_arrive = 0, rsp_t_deliver = 0;
+
+  bool has_post = false, has_deliver = false;
+  bool has_rsp_post = false, has_rsp_deliver = false;
+
+  /// Request posted and delivered (a complete one-way trace).
+  bool forward_complete() const { return has_post && has_deliver; }
+  /// Full RPC chain: both halves posted and delivered.
+  bool rpc_complete() const {
+    return forward_complete() && has_rsp_post && has_rsp_deliver;
+  }
+  /// Complete for its kind: RPC chains need the response half.
+  bool complete() const {
+    return is_rpc || has_rsp_post ? rpc_complete() : forward_complete();
+  }
+};
+
+/// One decomposed stage of a chain, clock-offset corrected.
+struct Stage {
+  const char* name;
+  Nanos duration;
+};
+
+class SpanCollector : public core::SpanSink {
+ public:
+  /// Install this collector as the context's span sink. One collector may
+  /// serve any number of contexts (it models the centralized backend).
+  void attach(core::Context& ctx);
+
+  /// Register how far `node`'s clock runs ahead of the collector's
+  /// reference clock. Feed clock-sync results here; unregistered nodes
+  /// are assumed synchronized (offset 0).
+  void set_node_offset(net::NodeId node, Nanos offset);
+  Nanos node_offset(net::NodeId node) const;
+
+  // SpanSink.
+  void on_span_post(const core::SpanPostEvent& ev) override;
+  void on_span_deliver(const core::SpanDeliverEvent& ev) override;
+
+  std::size_t size() const { return chains_.size(); }
+  std::size_t complete_chains() const;
+  const SpanChain* find(std::uint64_t trace_id) const;
+  const std::vector<SpanChain>& chains() const { return chains_; }
+  void clear();
+
+  /// Stage decomposition of one complete chain, offset-corrected. The
+  /// stages partition [t_post, end]: their durations sum exactly to
+  /// total() when the registered offsets are exact.
+  std::vector<Stage> decompose(const SpanChain& chain) const;
+  /// End-to-end latency of a complete chain on the request sender's clock.
+  Nanos total(const SpanChain& chain) const;
+
+  /// Record per-stage durations of every complete chain into `reg` as
+  /// histograms named "trace.<stage>" (plus "trace.total").
+  void publish(MetricsRegistry& reg) const;
+  /// Per-stage p50/p99 table (via publish into a scratch registry).
+  std::string decomposition_report() const;
+  /// chrome://tracing "traceEvents" JSON: one complete-event ("ph":"X")
+  /// per stage, pid = host, tid = trace id, ts/dur in microseconds on the
+  /// corrected reference timeline.
+  std::string chrome_trace_json() const;
+
+ private:
+  SpanChain& chain_for(std::uint64_t trace_id);
+  Nanos corrected(net::NodeId node, Nanos t) const;
+
+  std::vector<SpanChain> chains_;                     // insertion order
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::map<net::NodeId, Nanos> offsets_;
+};
+
+/// Poll-interval watchdog (§VI-A method II): per-context polling health,
+/// flagging contexts whose poll gap exceeded Config::polling_warn_cycle
+/// (ContextStats::slow_polls / worst_poll_gap).
+std::string poll_watchdog_report(const std::vector<core::Context*>& ctxs);
+
+}  // namespace xrdma::analysis

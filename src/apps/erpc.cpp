@@ -131,21 +131,26 @@ void Server::dispatch(core::Channel& ch, core::Msg&& msg) {
   call.peer = ch.peer_node();
   const std::uint64_t rpc_id = msg.rpc_id;
   const std::uint64_t chan_id = ch.id();
+  // Traced request: the response inherits its trace id so the latency
+  // decomposition sees one chain across request -> handler -> response
+  // (including large responses, which ride Read-replace-Write).
+  const std::uint64_t trace_id = msg.traced ? msg.trace_id : 0;
   core::Context* ctx = &ctx_;
   // The handler may respond asynchronously; route through ids so a closed
   // channel degrades to a dropped reply instead of a dangling pointer.
-  call.respond = [ctx, chan_id, rpc_id, method](Buffer rsp) {
+  call.respond = [ctx, chan_id, rpc_id, method, trace_id](Buffer rsp) {
     for (core::Channel* c : ctx->channels()) {
       if (c->id() == chan_id && c->usable()) {
-        c->reply(rpc_id, envelope(method, 0, rsp));
+        c->reply(rpc_id, envelope(method, 0, rsp), trace_id);
         return;
       }
     }
   };
-  call.respond_error = [ctx, chan_id, rpc_id, method](Errc e) {
+  call.respond_error = [ctx, chan_id, rpc_id, method, trace_id](Errc e) {
     for (core::Channel* c : ctx->channels()) {
       if (c->id() == chan_id && c->usable()) {
-        c->reply(rpc_id, envelope(method, static_cast<std::uint32_t>(e), {}));
+        c->reply(rpc_id, envelope(method, static_cast<std::uint32_t>(e), {}),
+                 trace_id);
         return;
       }
     }

@@ -76,16 +76,20 @@ Errc Channel::call(Buffer request, RpcCallback cb, Nanos timeout) {
   return Errc::ok;
 }
 
-Errc Channel::reply(std::uint64_t rpc_id, Buffer response) {
-  return enqueue(kFlagRpcRsp, rpc_id, std::move(response), MemBlock{});
+Errc Channel::reply(std::uint64_t rpc_id, Buffer response,
+                    std::uint64_t parent_trace_id) {
+  return enqueue(kFlagRpcRsp, rpc_id, std::move(response), MemBlock{},
+                 parent_trace_id);
 }
 
 Errc Channel::enqueue(std::uint16_t flags, std::uint64_t rpc_id,
-                      Buffer payload, MemBlock zc_block) {
+                      Buffer payload, MemBlock zc_block,
+                      std::uint64_t trace_hint) {
   if (state_ != State::established) return Errc::channel_closed;
   PendingSend p;
   p.flags = flags;
   p.rpc_id = rpc_id;
+  p.trace_hint = trace_hint;
   p.payload = std::move(payload);
   p.zc_block = zc_block;
   if (swin_.full() || !pending_tx_.empty()) ++stats_.window_stalls;
@@ -126,20 +130,43 @@ void Channel::emit_data(PendingSend&& p) {
   hdr.payload_len = len;
 
   // Tracing: req-rsp mode traces everything; bare-data mode samples by
-  // trace_sample_mask (0 = off).
+  // trace_sample_mask (0 = off). A message carrying a parent trace id (an
+  // RPC response to a traced request) is always traced so chains complete.
   const bool traced =
-      cfg.reqrsp_mode ||
+      p.trace_hint != 0 || cfg.reqrsp_mode ||
       (cfg.trace_sample_mask != 0 && (seq & cfg.trace_sample_mask) == 0);
   if (traced) {
     hdr.flags |= kFlagTraced;
     hdr.t_send = ctx_.local_time();
-    hdr.trace_id = (id_ << 24) ^ seq;
+    // Fold in the context epoch: channel ids and seqs both restart per
+    // context, so (id << 24) ^ seq alone collides across contexts.
+    hdr.trace_id = p.trace_hint != 0
+                       ? p.trace_hint
+                       : ctx_.trace_epoch() ^ (id_ << 24) ^ seq;
   }
   ent->flags = hdr.flags;
 
   ++stats_.msgs_tx;
   stats_.bytes_tx += len;
   last_tx_ = now;
+
+  if (traced && ctx_.span_sink()) {
+    SpanPostEvent ev;
+    ev.trace_id = hdr.trace_id;
+    ev.channel_id = id_;
+    ev.node = ctx_.node();
+    ev.peer = peer_;
+    ev.t_post = hdr.t_send;
+    // The WR reaches the NIC after the software send path; post_wire
+    // schedules it with exactly this cost (the mock path posts inline).
+    Nanos sw_cost = cfg.send_path_overhead;
+    if (cfg.reqrsp_mode) sw_cost += cfg.trace_overhead;
+    ev.t_wire = hdr.t_send + (tx_override_ ? 0 : sw_cost);
+    ev.bytes = len;
+    ev.is_rpc_req = (p.flags & kFlagRpcReq) != 0;
+    ev.is_rpc_rsp = (p.flags & kFlagRpcRsp) != 0;
+    ctx_.span_sink()->on_span_post(ev);
+  }
 
   if (tx_override_) {
     // Mock transport: whole message inline over the alternate stream.
@@ -460,6 +487,23 @@ void Channel::deliver(Seq seq, RxState& rx) {
   msg.t_send = rx.hdr.t_send;
   msg.t_deliver = ctx_.local_time();
   msg.trace_id = rx.hdr.trace_id;
+
+  if (msg.traced && ctx_.span_sink()) {
+    SpanDeliverEvent ev;
+    ev.trace_id = msg.trace_id;
+    ev.channel_id = id_;
+    ev.node = ctx_.node();
+    ev.peer = peer_;
+    ev.t_send = msg.t_send;
+    // rx.t_arrive is engine time; shift by this host's skew so all span
+    // stamps are on the same (local) clock.
+    ev.t_arrive = rx.t_arrive + (ctx_.local_time() - ctx_.engine().now());
+    ev.t_deliver = msg.t_deliver;
+    ev.bytes = rx.hdr.payload_len;
+    ev.is_rpc_req = msg.is_rpc_req;
+    ev.is_rpc_rsp = msg.is_rpc_rsp;
+    ctx_.span_sink()->on_span_deliver(ev);
+  }
 
   if (msg.is_rpc_rsp) {
     auto it = calls_.find(msg.rpc_id);

@@ -66,7 +66,11 @@ class Channel {
   Errc call(Buffer request, RpcCallback cb, Nanos timeout = millis(100));
   /// Respond to a received request (Msg::rpc_id). Large responses go down
   /// the rendezvous path, i.e. the requester RDMA-Reads them (§IV-C).
-  Errc reply(std::uint64_t rpc_id, Buffer response);
+  /// Passing the request's Msg::trace_id as `parent_trace_id` stitches the
+  /// response into the same trace chain (and forces it traced, so sampled
+  /// request→response chains always complete).
+  Errc reply(std::uint64_t rpc_id, Buffer response,
+             std::uint64_t parent_trace_id = 0);
 
   void set_on_msg(MsgHandler h) { on_msg_ = std::move(h); }
   void set_on_error(ErrorHandler h) { on_error_ = std::move(h); }
@@ -107,6 +111,7 @@ class Channel {
   struct PendingSend {
     std::uint16_t flags = 0;
     std::uint64_t rpc_id = 0;
+    std::uint64_t trace_hint = 0;  // propagate this trace id (0 = mint one)
     Buffer payload;
     MemBlock zc_block;  // zero-copy payload (valid() when used)
   };
@@ -135,7 +140,7 @@ class Channel {
 
   // TX path.
   Errc enqueue(std::uint16_t flags, std::uint64_t rpc_id, Buffer payload,
-               MemBlock zc_block);
+               MemBlock zc_block, std::uint64_t trace_hint = 0);
   void pump_tx();
   void emit_data(PendingSend&& p);
   void post_wire(MemBlock block, std::uint32_t len);

@@ -24,6 +24,14 @@ std::uint32_t decode_handshake(const Buffer& b, std::uint32_t fallback) {
   std::memcpy(&depth, b.data() + 4, 4);
   return magic == kHandshakeMagic && depth > 0 ? depth : fallback;
 }
+
+// Deterministic per-process context counter: contexts are created in a
+// fixed order under the simulation, so trace ids stay reproducible while
+// never colliding between contexts (even two contexts on the same node).
+std::uint64_t next_context_instance() {
+  static std::uint64_t n = 0;
+  return ++n;
+}
 }  // namespace
 
 Context::Context(rnic::Rnic& nic, verbs::cm::CmService& cm, Config config)
@@ -46,6 +54,8 @@ Context::Context(rnic::Rnic& nic, verbs::cm::CmService& cm, Config config)
       event_fd_(nic.engine(), static_cast<int>(nic.node()) * 1000 + 3,
                 cfg_.event_wakeup_latency),
       event_fd_id_(static_cast<int>(nic.node()) * 1000 + 3) {
+  trace_epoch_ = (static_cast<std::uint64_t>(nic.node()) << 56) ^
+                 (next_context_instance() << 40);
   if (cfg_.use_srq) {
     srq_ = nic_.create_srq(cfg_.srq_size);
     const std::uint32_t size =

@@ -28,6 +28,7 @@
 #include "core/fd.hpp"
 #include "core/memcache.hpp"
 #include "core/qp_cache.hpp"
+#include "core/span.hpp"
 #include "core/stats.hpp"
 #include "sim/timer.hpp"
 #include "verbs/cm.hpp"
@@ -84,6 +85,15 @@ class Context {
   ConfigRegistry& config_registry() { return registry_; }
 
   TraceReport trace_request(const Msg& msg) const;
+
+  /// Latency-decomposition tracing (§VI-A): when a sink is installed,
+  /// channels publish per-message span events for every traced message.
+  void set_span_sink(SpanSink* sink) { span_sink_ = sink; }
+  SpanSink* span_sink() const { return span_sink_; }
+
+  /// Per-context salt folded into generated trace ids so ids never collide
+  /// across contexts (channel ids and seqs both restart at 1 per context).
+  std::uint64_t trace_epoch() const { return trace_epoch_; }
 
   // --- Thread model ----------------------------------------------------------
   /// Drives polling() according to Config::poll_mode (busy / hybrid /
@@ -213,6 +223,8 @@ class Context {
 
   FilterHook filter_;
   ContextStats stats_;
+  SpanSink* span_sink_ = nullptr;
+  std::uint64_t trace_epoch_ = 0;
 };
 
 }  // namespace xrdma::core

@@ -1,0 +1,60 @@
+// Span emission hooks for the latency-decomposition tracing (§VI-A).
+//
+// The data plane stays free of any analysis dependency: when a context has
+// a SpanSink installed, channels publish two raw events per traced message
+// — one on the sender when the message enters the software send path, one
+// on the receiver when it is delivered to the application. All timestamps
+// are the emitting host's *local* clock (Context::local_time), i.e. they
+// include that host's clock skew; the collector on the analysis side is
+// responsible for correcting cross-host differences with the clock-sync
+// offset before decomposing.
+//
+// Request and response halves of an RPC share one trace_id (reply()
+// propagates the request's id), which is how the collector stitches the
+// full post → wire → pickup → handler → response chain back together.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "net/packet.hpp"
+
+namespace xrdma::core {
+
+/// Sender-side half of a traced message: the software send path.
+struct SpanPostEvent {
+  std::uint64_t trace_id = 0;
+  std::uint64_t channel_id = 0;
+  net::NodeId node = net::kInvalidNode;  // emitting (sender) host
+  net::NodeId peer = net::kInvalidNode;  // destination host
+  Nanos t_post = 0;  // local clock: application handed the message over
+  Nanos t_wire = 0;  // local clock: WR reaches the NIC (post + sw overhead)
+  std::uint32_t bytes = 0;
+  bool is_rpc_req = false;
+  bool is_rpc_rsp = false;
+};
+
+/// Receiver-side half: arrival, assembly (rendezvous pull) and delivery.
+struct SpanDeliverEvent {
+  std::uint64_t trace_id = 0;
+  std::uint64_t channel_id = 0;
+  net::NodeId node = net::kInvalidNode;  // emitting (receiver) host
+  net::NodeId peer = net::kInvalidNode;  // sender host
+  Nanos t_send = 0;     // sender's clock stamp carried in the wire header
+  Nanos t_arrive = 0;   // local clock: first byte of the message arrived
+  Nanos t_deliver = 0;  // local clock: handed to the application
+  std::uint32_t bytes = 0;
+  bool is_rpc_req = false;
+  bool is_rpc_rsp = false;
+};
+
+/// Installed on a Context via set_span_sink(); implemented by the
+/// analysis-side SpanCollector. Calls arrive inline on the data path, so
+/// implementations must be cheap and must not re-enter the channel.
+struct SpanSink {
+  virtual ~SpanSink() = default;
+  virtual void on_span_post(const SpanPostEvent& ev) = 0;
+  virtual void on_span_deliver(const SpanDeliverEvent& ev) = 0;
+};
+
+}  // namespace xrdma::core

@@ -1,5 +1,6 @@
 #include "tools/xr_perf.hpp"
 
+#include "analysis/trace.hpp"
 #include "common/logging.hpp"
 
 namespace xrdma::tools {
@@ -16,8 +17,10 @@ std::string PerfReport::summary() const {
 void perf_echo_responder(core::Channel& channel) {
   channel.set_on_msg([](core::Channel& ch, core::Msg&& m) {
     if (m.is_rpc_req) {
-      // Echo the payload back (response size == request size).
-      ch.reply(m.rpc_id, std::move(m.payload));
+      // Echo the payload back (response size == request size), keeping a
+      // traced request's id on the response so span chains complete.
+      const std::uint64_t trace_id = m.traced ? m.trace_id : 0;
+      ch.reply(m.rpc_id, std::move(m.payload), trace_id);
     }
   });
 }
@@ -56,6 +59,9 @@ struct PerfState {
                              static_cast<double>(report.duration);
       report.achieved_kops = static_cast<double>(report.completed) * 1e6 /
                              static_cast<double>(report.duration);
+    }
+    if (opts.decompose && opts.spans) {
+      report.decomposition = opts.spans->decomposition_report();
     }
     if (done) done(std::move(report));
   }

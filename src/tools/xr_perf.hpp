@@ -14,6 +14,10 @@
 #include "common/rng.hpp"
 #include "core/context.hpp"
 
+namespace xrdma::analysis {
+class SpanCollector;
+}
+
 namespace xrdma::tools {
 
 enum class FlowModel {
@@ -34,6 +38,11 @@ struct PerfOptions {
   Nanos rpc_timeout = millis(100);
   std::uint64_t seed = 7;
   bool use_rpc = true;      // request/response vs one-way messages
+
+  // --decompose: when set (and `spans` collected the run), the report
+  // carries the per-stage latency-decomposition table (§VI-A).
+  bool decompose = false;
+  const analysis::SpanCollector* spans = nullptr;
 };
 
 struct PerfReport {
@@ -43,6 +52,7 @@ struct PerfReport {
   Nanos duration = 0;
   double achieved_gbps = 0;  // payload goodput
   double achieved_kops = 0;
+  std::string decomposition;  // per-stage table (opts.decompose)
 
   std::string summary() const;
 };

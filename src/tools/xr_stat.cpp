@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "analysis/metrics.hpp"
+#include "analysis/trace.hpp"
 #include "common/logging.hpp"
 
 namespace xrdma::tools {
@@ -87,6 +89,17 @@ std::string xr_stat_summary(core::Context& ctx) {
                static_cast<unsigned long long>(ns.cnps_received),
                static_cast<unsigned long long>(ns.qp_errors));
   return os.str();
+}
+
+std::string xr_stat_metrics(core::Context& ctx) {
+  analysis::ContextMetrics metrics(ctx);
+  return strfmt("node %u metrics:\n", ctx.node()) + metrics.registry().render();
+}
+
+std::string xr_stat_trace(const analysis::SpanCollector& spans) {
+  return strfmt("latency decomposition (%zu/%zu chains complete):\n",
+                spans.complete_chains(), spans.size()) +
+         spans.decomposition_report();
 }
 
 std::string xr_stat_fabric(const net::Fabric& fabric) {

@@ -7,6 +7,11 @@
 #include "core/context.hpp"
 #include "net/fabric.hpp"
 
+namespace xrdma::analysis {
+class MetricsRegistry;
+class SpanCollector;
+}
+
 namespace xrdma::tools {
 
 /// One row per channel: peer, state, traffic and protocol counters.
@@ -18,5 +23,13 @@ std::string xr_stat_summary(core::Context& ctx);
 /// Fabric-level health indexes the monitor watches: PFC pauses, queue
 /// drops, ECN marks.
 std::string xr_stat_fabric(const net::Fabric& fabric);
+
+/// Registry view of a context (ContextMetrics names): the one source the
+/// Monitor and XR-Perf also read.
+std::string xr_stat_metrics(core::Context& ctx);
+
+/// --trace: per-stage latency-decomposition table (p50/p99 per stage,
+/// published through a MetricsRegistry) for the collected spans.
+std::string xr_stat_trace(const analysis::SpanCollector& spans);
 
 }  // namespace xrdma::tools

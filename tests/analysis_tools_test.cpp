@@ -2,6 +2,7 @@
 // Mock TCP fallback, XR-Stat, XR-Ping mesh, XR-Perf, XR-adm.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,6 +81,27 @@ TEST(Monitor, CovMeasuresJitter) {
   analysis::Series jittery{"j", {{0, 1}, {1, 9}, {2, 1}, {3, 9}}};
   EXPECT_EQ(flat.cov(), 0);
   EXPECT_GT(jittery.cov(), 0.5);
+}
+
+TEST(Monitor, CovGuardsDegenerateAndNegativeSeries) {
+  // Empty and single-sample series have no defined variation: report 0,
+  // never NaN or a divide-by-zero inf.
+  analysis::Series empty{"e", {}};
+  analysis::Series single{"s", {{0, 5}}};
+  EXPECT_EQ(empty.cov(), 0);
+  EXPECT_EQ(single.cov(), 0);
+
+  // Zero-mean series (e.g. a clock-offset series centered on 0) would
+  // divide by zero; the guard returns 0 instead.
+  analysis::Series zero_mean{"z", {{0, -5}, {1, 5}}};
+  EXPECT_EQ(zero_mean.cov(), 0);
+  EXPECT_TRUE(std::isfinite(zero_mean.cov()));
+
+  // Negative-mean series must not flip the sign: cov is stddev / |mean|.
+  analysis::Series negative{"n", {{0, -1}, {1, -9}}};
+  EXPECT_GT(negative.cov(), 0);
+  analysis::Series mirrored{"m", {{0, 1}, {1, 9}}};
+  EXPECT_DOUBLE_EQ(negative.cov(), mirrored.cov());
 }
 
 TEST(Monitor, CollectsWarnLogs) {

@@ -71,6 +71,62 @@ TEST(Histogram, MergeCombinesDistributions) {
   EXPECT_EQ(a.max(), 10000);
 }
 
+TEST(Histogram, EmptyHistogramReportsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.percentile(100), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, PercentileEndpointsAreExactMinMax) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1000);
+  // p<=0 and p>=100 short-circuit to the exact recorded extremes (no bucket
+  // rounding), including out-of-range requests.
+  EXPECT_EQ(h.percentile(0), 1000);
+  EXPECT_EQ(h.percentile(-5), 1000);
+  EXPECT_EQ(h.percentile(100), 1000000);
+  EXPECT_EQ(h.percentile(250), 1000000);
+}
+
+TEST(Histogram, SingleSamplePercentilesCollapse) {
+  Histogram h;
+  h.record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(0), 777);
+  EXPECT_EQ(h.percentile(100), 777);
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 777.0, 777.0 * 0.04);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 777.0, 777.0 * 0.04);
+}
+
+TEST(Histogram, MergeDifferentlySizedHistograms) {
+  Histogram small, large;
+  for (int i = 0; i < 10; ++i) small.record(100);
+  for (int i = 0; i < 1000; ++i) large.record(1000000);
+  small.merge(large);
+  EXPECT_EQ(small.count(), 1010u);
+  EXPECT_EQ(small.min(), 100);
+  EXPECT_EQ(small.max(), 1000000);
+  // The big side dominates the median after the merge.
+  EXPECT_NEAR(static_cast<double>(small.percentile(50)), 1e6, 1e6 * 0.04);
+
+  // Merging an empty histogram is a no-op; merging into an empty one copies.
+  Histogram empty, copy;
+  const auto before = small.count();
+  small.merge(empty);
+  EXPECT_EQ(small.count(), before);
+  EXPECT_EQ(small.min(), 100);
+  copy.merge(small);
+  EXPECT_EQ(copy.count(), small.count());
+  EXPECT_EQ(copy.min(), small.min());
+  EXPECT_EQ(copy.max(), small.max());
+  EXPECT_EQ(copy.percentile(50), small.percentile(50));
+}
+
 TEST(Histogram, ZeroAndNegativeClamped) {
   Histogram h;
   h.record(0);
