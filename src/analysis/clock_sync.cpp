@@ -41,7 +41,13 @@ void run_clock_sync(core::Channel& channel, int probes,
   // Issue probes sequentially: back-to-back probes would queue behind each
   // other and inflate RTTs.
   auto issue = std::make_shared<std::function<void()>>();
-  *issue = [state, issue, &channel, done = std::move(done), install_offset] {
+  // The stored lambda must not capture `issue` strongly: it would be a
+  // self-reference cycle that leaks the whole chain if the protocol is
+  // abandoned mid-probe. The pending RPC callback carries the strong ref.
+  *issue = [state, weak = std::weak_ptr<std::function<void()>>(issue),
+            &channel, done = std::move(done), install_offset] {
+    auto issue = weak.lock();
+    if (!issue) return;
     core::Context& ctx = channel.context();
     const Nanos t1 = ctx.local_time();
     channel.call(

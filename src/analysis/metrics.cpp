@@ -103,7 +103,16 @@ void ContextMetrics::refresh() {
     agg.rpc_timeouts += s.rpc_timeouts;
     agg.bad_messages += s.bad_messages;
     agg.filtered_drops += s.filtered_drops;
+    agg.egress_drops += s.egress_drops;
     agg.mock_tx += s.mock_tx;
+    agg.dup_msgs_rx += s.dup_msgs_rx;
+    agg.recoveries_started += s.recoveries_started;
+    agg.recovery_attempts += s.recovery_attempts;
+    agg.recoveries_completed += s.recoveries_completed;
+    agg.recovery_retransmits += s.recovery_retransmits;
+    agg.fallback_switches += s.fallback_switches;
+    agg.fallback_restores += s.fallback_restores;
+    agg.rpc_aborts += s.rpc_aborts;
     if (ch->usable()) ++established;
     inflight += ch->inflight_msgs();
     queued += ch->queued_msgs();
@@ -124,7 +133,16 @@ void ContextMetrics::refresh() {
   reg_.counter("chan.rpc_timeouts") = agg.rpc_timeouts;
   reg_.counter("chan.bad_messages") = agg.bad_messages;
   reg_.counter("chan.filtered_drops") = agg.filtered_drops;
+  reg_.counter("chan.egress_drops") = agg.egress_drops;
   reg_.counter("chan.mock_tx") = agg.mock_tx;
+  reg_.counter("chan.dup_msgs_rx") = agg.dup_msgs_rx;
+  reg_.counter("chan.recoveries_started") = agg.recoveries_started;
+  reg_.counter("chan.recovery_attempts") = agg.recovery_attempts;
+  reg_.counter("chan.recoveries_completed") = agg.recoveries_completed;
+  reg_.counter("chan.recovery_retransmits") = agg.recovery_retransmits;
+  reg_.counter("chan.fallback_switches") = agg.fallback_switches;
+  reg_.counter("chan.fallback_restores") = agg.fallback_restores;
+  reg_.counter("chan.rpc_aborts") = agg.rpc_aborts;
   reg_.gauge("chan.established") = static_cast<double>(established);
   reg_.gauge("chan.inflight") = static_cast<double>(inflight);
   reg_.gauge("chan.queued") = static_cast<double>(queued);
@@ -139,8 +157,10 @@ void ContextMetrics::refresh() {
   reg_.counter("ctx.channels_opened") = cs.channels_opened;
   reg_.counter("ctx.channels_closed") = cs.channels_closed;
   reg_.counter("ctx.channel_errors") = cs.channel_errors;
+  reg_.counter("ctx.channels_recovered") = cs.channels_recovered;
   reg_.gauge("ctx.worst_poll_gap_us") = to_micros(cs.worst_poll_gap);
   reg_.histogram("ctx.rpc_latency") = cs.rpc_latency;
+  reg_.histogram("ctx.recovery_latency") = cs.recovery_latency;
 
   const auto& ctrl = ctx_.ctrl_cache().stats();
   const auto& data = ctx_.data_cache().stats();

@@ -40,6 +40,9 @@ struct Bridge : std::enable_shared_from_this<Bridge> {
       }
       return self->conn->send(std::move(framed));
     });
+    // A recovering channel resumes here (window replay + RDMA probing); an
+    // established one (manual switch) treats this as a no-op.
+    ch.on_fallback_attached();
   }
 
   void detach() {
@@ -88,16 +91,18 @@ struct ServerBridge : Bridge {
   void handle_frame(const std::uint8_t* data, std::uint32_t len) override {
     if (!handshaken) {
       handshaken = true;
-      if (len < 8) return;
-      std::uint32_t magic = 0, qpn = 0;
+      if (len < 12) return;
+      std::uint32_t magic = 0;
+      std::uint64_t token = 0;
       std::memcpy(&magic, data, 4);
-      std::memcpy(&qpn, data + 4, 4);
+      std::memcpy(&token, data + 4, 8);
       if (magic != kMockMagic) return;
-      for (core::Channel* ch : ctx->channels()) {
-        if (ch->qp_num() == qpn && ch->usable()) {
-          attach_channel(*ch);
-          break;
-        }
+      core::Channel* ch = ctx->channel_by_token(token);
+      // Accept recovering channels too: fallback escalation usually finds
+      // this side mid-recovery (its QP died with the peer's).
+      if (ch && (ch->state() == core::Channel::State::established ||
+                 ch->state() == core::Channel::State::recovering)) {
+        attach_channel(*ch);
       }
       return;
     }
@@ -109,10 +114,12 @@ void wire_conn(std::shared_ptr<Bridge> bridge, tcpsim::TcpConn& conn) {
   bridge->conn = &conn;
   conn.set_on_data([bridge](Buffer chunk) { bridge->on_data(chunk); });
   conn.set_on_error([bridge](Errc) {
-    // Stream died or was closed: revert to RDMA.
+    // Stream died or was closed. The channel decides what that means: a
+    // deliberate restore reverts to RDMA, an unsolicited loss with no QP
+    // re-enters recovery.
     if (bridge->channel) {
-      bridge->channel->set_tx_override(nullptr);
       bridge_registry().erase(bridge->channel);
+      bridge->channel->on_fallback_lost();
     }
     bridge->channel = nullptr;
   });
@@ -141,14 +148,15 @@ void MockFallback::switch_to_tcp(core::Channel& ch, tcpsim::TcpStack& tcp,
                 }
                 auto bridge = std::make_shared<Bridge>();
                 wire_conn(bridge, *r.value());
-                // Identify ourselves by the *peer's* QP number so the
-                // server can find its side of the channel.
-                Buffer hello = Buffer::make(4 + 8);
-                const std::uint32_t frame_len = 8;
+                // Identify ourselves by the connection token — the channel
+                // identity that survives QP replacement, so fallback works
+                // even after the QPs are gone.
+                Buffer hello = Buffer::make(4 + 12);
+                const std::uint32_t frame_len = 12;
                 std::memcpy(hello.data(), &frame_len, 4);
                 std::memcpy(hello.data() + 4, &kMockMagic, 4);
-                const std::uint32_t qpn = ch.peer_qp_num();
-                std::memcpy(hello.data() + 8, &qpn, 4);
+                const std::uint64_t token = ch.conn_token();
+                std::memcpy(hello.data() + 8, &token, 8);
                 r.value()->send(std::move(hello));
                 bridge->attach_channel(ch);
                 if (done) done(Errc::ok);
@@ -163,6 +171,15 @@ void MockFallback::restore_rdma(core::Channel& ch) {
   } else {
     ch.set_tx_override(nullptr);
   }
+}
+
+void MockFallback::enable_auto(core::Context& ctx, tcpsim::TcpStack& tcp,
+                               std::uint16_t peer_port) {
+  ctx.set_fallback_provider(
+      [&tcp, peer_port](core::Channel& ch, std::function<void(Errc)> done) {
+        switch_to_tcp(ch, tcp, peer_port, std::move(done));
+      });
+  ctx.set_fallback_restore([](core::Channel& ch) { restore_rdma(ch); });
 }
 
 }  // namespace xrdma::analysis

@@ -4,9 +4,14 @@
 // the paper temporarily reroutes a channel's traffic over TCP without the
 // application noticing. Here: the server side listens on a TCP port; the
 // client side connects, identifies which channel it is speaking for (by
-// the server's QP number), and both ends install a tx_override so encoded
-// messages travel the TCP stream (length-prefixed frames) while the
-// seq-ack protocol above stays untouched. restore_rdma() switches back.
+// the connection token, which survives QP loss), and both ends install a
+// tx_override so encoded messages travel the TCP stream (length-prefixed
+// frames) while the seq-ack protocol above stays untouched.
+// restore_rdma() switches back.
+//
+// enable_auto() wires this into channel recovery: once a channel exhausts
+// its QP-resume budget it escalates here automatically, and the restore
+// hook migrates it back when the background RDMA probe succeeds.
 #pragma once
 
 #include <functional>
@@ -32,6 +37,13 @@ class MockFallback {
   /// Switch a mocked channel back to its RDMA QP (either side; the stream
   /// is closed, which flips the peer too).
   static void restore_rdma(core::Channel& ch);
+
+  /// Install automatic escalation on `ctx`: channels that exhaust their
+  /// recovery budget switch onto TCP toward `peer_port` (the peer must run
+  /// a MockFallback server there), and restore through restore_rdma once
+  /// RDMA heals.
+  static void enable_auto(core::Context& ctx, tcpsim::TcpStack& tcp,
+                          std::uint16_t peer_port);
 
  private:
   core::Context& ctx_;

@@ -18,6 +18,9 @@ Channel::Channel(Context& ctx, verbs::Qp qp, net::NodeId peer,
       rwin_(ctx.config().window_depth) {
   keepalive_timer_ = std::make_unique<sim::DeadlineTimer>(
       ctx_.engine(), [this] { keepalive_fire(); });
+  recovery_timer_ = std::make_unique<sim::DeadlineTimer>(
+      ctx_.engine(), [this] { recovery_timer_fire(); });
+  recovery_rng_.reseed(ctx_.trace_epoch() ^ (id * 0x9e3779b97f4a7c15ULL));
 }
 
 Channel::~Channel() {
@@ -32,23 +35,26 @@ Channel::~Channel() {
 void Channel::init_established() {
   const Nanos now = ctx_.engine().now();
   last_tx_ = last_rx_ = last_alive_ = now;
+  post_bounce_buffers();
+  keepalive_timer_->arm_after(ctx_.config().keepalive_intv);
+}
+
+void Channel::post_bounce_buffers() {
   const Config& cfg = ctx_.config();
-  if (!cfg.use_srq) {
-    // Pre-post bounce buffers: the whole receive window plus control slack
-    // (standalone ACKs, NOPs, FIN). The sender's window bound plus this
-    // pre-posting is what makes the protocol RNR-free (§V-B).
-    const std::uint32_t count = 2 * cfg.window_depth + 8;
-    const std::uint32_t size =
-        WireHeader::kBareSize + WireHeader::kTraceSize + cfg.small_msg_size;
-    bounce_.reserve(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      MemBlock block = ctx_.ctrl_cache_.alloc(size);
-      if (!block.valid()) break;
-      bounce_.push_back(block);
-      qp_.post_recv({.wr_id = i, .sge = {block.addr, size, block.lkey}});
-    }
+  if (cfg.use_srq) return;
+  // Pre-post bounce buffers: the whole receive window plus control slack
+  // (standalone ACKs, NOPs, FIN). The sender's window bound plus this
+  // pre-posting is what makes the protocol RNR-free (§V-B).
+  const std::uint32_t count = 2 * cfg.window_depth + 8;
+  const std::uint32_t size =
+      WireHeader::kBareSize + WireHeader::kTraceSize + cfg.small_msg_size;
+  bounce_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MemBlock block = ctx_.ctrl_cache_.alloc(size);
+    if (!block.valid()) break;
+    bounce_.push_back(block);
+    qp_.post_recv({.wr_id = i, .sge = {block.addr, size, block.lkey}});
   }
-  keepalive_timer_->arm_after(cfg.keepalive_intv);
 }
 
 // ---------------------------------------------------------------------------
@@ -85,7 +91,11 @@ Errc Channel::reply(std::uint64_t rpc_id, Buffer response,
 Errc Channel::enqueue(std::uint16_t flags, std::uint64_t rpc_id,
                       Buffer payload, MemBlock zc_block,
                       std::uint64_t trace_hint) {
-  if (state_ != State::established) return Errc::channel_closed;
+  // Transparent recovery: sends during `recovering` park in pending_tx_
+  // and drain once the channel resumes — the application never notices.
+  if (state_ != State::established && state_ != State::recovering) {
+    return Errc::channel_closed;
+  }
   PendingSend p;
   p.flags = flags;
   p.rpc_id = rpc_id;
@@ -169,11 +179,23 @@ void Channel::emit_data(PendingSend&& p) {
   }
 
   if (tx_override_) {
-    // Mock transport: whole message inline over the alternate stream.
+    // Mock transport: whole message inline over the alternate stream. The
+    // entry keeps the header and payload so recovery can replay it over
+    // either transport.
+    ent->hdr = hdr;
+    ent->payload_block = p.zc_block;  // freed on ack, like the RDMA path
+    if (!p.zc_block.valid()) ent->inline_copy = p.payload;
     Buffer wire = Buffer::make(hdr.wire_size() + len);
     hdr.encode(wire.data());
-    if (len > 0 && p.payload.data()) {
-      std::memcpy(wire.data() + hdr.wire_size(), p.payload.data(), len);
+    if (len > 0) {
+      std::uint8_t* dst = wire.data() + hdr.wire_size();
+      if (p.zc_block.valid()) {
+        if (const std::uint8_t* src = ctx_.data_cache_.data(p.zc_block)) {
+          std::memcpy(dst, src, len);
+        }
+      } else if (p.payload.data()) {
+        std::memcpy(dst, p.payload.data(), len);
+      }
     }
     ++stats_.mock_tx;
     tx_override_(std::move(wire));
@@ -191,8 +213,10 @@ void Channel::emit_data(PendingSend&& p) {
     if (len > 0 && p.payload.data()) {
       std::memcpy(dst + hdr.wire_size(), p.payload.data(), len);
     }
+    ent->hdr = hdr;
     ent->wire_block = block;
-    post_wire(block, hdr.wire_size() + len);
+    ent->wire_len = hdr.wire_size() + len;
+    post_wire(hdr, block, ent->wire_len);
     return;
   }
 
@@ -221,13 +245,32 @@ void Channel::emit_data(PendingSend&& p) {
     return;
   }
   hdr.encode(ctx_.ctrl_cache_.data(block));
+  ent->hdr = hdr;
   ent->wire_block = block;
   ent->payload_block = payload_block;
-  post_wire(block, hdr.wire_size());
+  ent->wire_len = hdr.wire_size();
+  post_wire(hdr, block, ent->wire_len);
 }
 
-void Channel::post_wire(MemBlock block, std::uint32_t len) {
+void Channel::post_wire(const WireHeader& hdr, MemBlock block,
+                        std::uint32_t len) {
   const Config& cfg = ctx_.config();
+  // Egress fault injection (Filter, §VI-C). A dropped message stays in the
+  // send window — only a recovery replay can deliver it.
+  Nanos extra = 0;
+  if (ctx_.egress_filter_) {
+    const auto d = ctx_.egress_filter_(*this, hdr);
+    if (d.action == Context::FilterAction::drop) {
+      ++stats_.egress_drops;
+      return;
+    }
+    if (d.action == Context::FilterAction::delay) extra = d.delay;
+    if (d.action == Context::FilterAction::corrupt) {
+      if (std::uint8_t* p = ctx_.ctrl_cache_.data(block); p && len > 0) {
+        p[d.corrupt_seed % len] ^= 0x40;
+      }
+    }
+  }
   verbs::SendWr wr;
   wr.wr_id = ctx_.register_wr(
       {Context::WrInfo::Kind::data_send, id_, 0, 0, MemBlock{}, false});
@@ -238,9 +281,11 @@ void Channel::post_wire(MemBlock block, std::uint32_t len) {
   Nanos cost = cfg.send_path_overhead;
   if (cfg.reqrsp_mode) cost += cfg.trace_overhead;
   const std::uint64_t chan_id = id_;
-  ctx_.engine().schedule_after(cost, [ctx = &ctx_, chan_id, wr] {
+  ctx_.engine().schedule_after(cost + extra, [ctx = &ctx_, chan_id, wr] {
     if (Channel* ch = ctx->channel_by_id(chan_id);
-        ch && ch->state_ != State::closed && ch->state_ != State::error) {
+        ch && (ch->state_ == State::established ||
+               ch->state_ == State::closing) &&
+        ch->qp_.valid()) {
       ctx->post_or_queue(*ch, wr);
     }
   });
@@ -262,6 +307,17 @@ void Channel::post_control(std::uint16_t flags) {
     ++stats_.nops_tx;
   }
   last_tx_ = ctx_.engine().now();
+
+  // Egress fault injection: a dropped control message is "sent" locally
+  // (inflight flags clear as if its WC arrived) but never reaches the wire.
+  if (ctx_.egress_filter_) {
+    const auto d = ctx_.egress_filter_(*this, hdr);
+    if (d.action == Context::FilterAction::drop) {
+      ++stats_.egress_drops;
+      on_send_wc_control(flags);
+      return;
+    }
+  }
 
   if (tx_override_) {
     Buffer wire = Buffer::make(hdr.wire_size());
@@ -294,6 +350,7 @@ void Channel::on_send_wc_control(std::uint16_t flags) {
   if (flags & kFlagNop) nop_inflight_ = false;
   if ((flags & kFlagFin) && state_ == State::closing) {
     state_ = State::closed;
+    ctx_.channel_detach_qp(*this);  // before release_qp clears the QP num
     release_qp(/*recycle=*/true);
     ctx_.channel_closed(*this);
   }
@@ -331,11 +388,22 @@ void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
   }
 
   // Fault injection (Filter, §VI-C).
+  Buffer corrupted;  // keeps the mutated copy alive through handling
   if (ctx_.filter_) {
     const auto decision = ctx_.filter_(*this, hdr);
     if (decision.action == Context::FilterAction::drop) {
       ++stats_.filtered_drops;
       return;
+    }
+    if (decision.action == Context::FilterAction::corrupt && len > 0) {
+      corrupted = Buffer::make(len);
+      std::memcpy(corrupted.data(), bytes, len);
+      corrupted.data()[decision.corrupt_seed % len] ^= 0x40;
+      bytes = corrupted.data();
+      if (!WireHeader::decode(bytes, len, hdr)) {
+        ++stats_.bad_messages;
+        return;
+      }
     }
     if (decision.action == Context::FilterAction::delay) {
       Buffer copy = Buffer::make(len);
@@ -371,6 +439,8 @@ void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
   }
   if (hdr.has(kFlagFin)) {
     state_ = State::closed;
+    abort_calls(Errc::channel_closed);
+    ctx_.channel_detach_qp(*this);  // before release_qp clears the QP num
     release_qp(/*recycle=*/true);
     ctx_.channel_closed(*this);
     if (on_error_) on_error_(*this, Errc::channel_closed);
@@ -385,7 +455,34 @@ void Channel::handle_data(const WireHeader& hdr, const std::uint8_t* bytes,
                           std::uint32_t len) {
   RxState* rx = rwin_.arrive(hdr.seq);
   if (!rx) {
-    // Duplicate or out-of-window: RC delivery makes this a protocol bug.
+    if (hdr.seq < rwin_.wta()) {
+      // Retransmit of a message that already arrived (recovery replay, or
+      // the original landed just before the QP died). Exactly-once: never
+      // hand it to the application again — but an inline replay can stand
+      // in for an interrupted rendezvous pull, and the sender needs a
+      // fresh ack either way so it can retire the entry.
+      ++stats_.dup_msgs_rx;
+      if (RxState* pending = rwin_.find(hdr.seq);
+          pending && pending->reads_left > 0 && !hdr.has(kFlagLarge) &&
+          hdr.payload_len == pending->hdr.payload_len) {
+        pending->reads_left = 0;
+        if (pending->payload_block.valid()) {
+          ctx_.data_cache_.free(pending->payload_block);
+          pending->payload_block = MemBlock{};
+        }
+        if (hdr.payload_len > 0) {
+          pending->payload = Buffer::make(hdr.payload_len);
+          if (hdr.wire_size() + hdr.payload_len <= len) {
+            std::memcpy(pending->payload.data(), bytes + hdr.wire_size(),
+                        hdr.payload_len);
+          }
+        }
+        rwin_.complete(hdr.seq, [this](Seq s, RxState& r) { deliver(s, r); });
+      }
+      force_ack();
+      return;
+    }
+    // Ahead of the window: RC delivery makes this a protocol bug.
     ++stats_.bad_messages;
     return;
   }
@@ -420,10 +517,15 @@ void Channel::start_rendezvous_pull(Seq seq, RxState& rx) {
     fail(Errc::resource_exhausted);
     return;
   }
+  issue_pull_frags(seq, rx);
+}
+
+void Channel::issue_pull_frags(Seq seq, RxState& rx) {
   // Fragmented pull (§V-C): moderate-size reads keep the RNIC preemptible;
   // with flow control off this degenerates to one huge WR — the Fig. 10
   // baseline.
   const Config& cfg = ctx_.config();
+  const std::uint32_t len = rx.hdr.payload_len;
   const std::uint32_t frag = cfg.flowctl ? cfg.frag_size : len;
   std::uint32_t off = 0;
   std::uint32_t nfrags = 0;
@@ -446,7 +548,7 @@ void Channel::start_rendezvous_pull(Seq seq, RxState& rx) {
 
 void Channel::on_read_frag_done(Seq seq, Errc status) {
   if (status != Errc::ok) {
-    fail(status);
+    handle_transport_fault(status);
     return;
   }
   RxState* rx = rwin_.find(seq);
@@ -517,6 +619,11 @@ void Channel::deliver(Seq seq, RxState& rx) {
   if (on_msg_) on_msg_(*this, std::move(msg));
 }
 
+void Channel::force_ack() {
+  if (state_ != State::established || ack_inflight_) return;
+  post_control(kFlagAckOnly);
+}
+
 void Channel::maybe_standalone_ack() {
   if (state_ != State::established) return;
   if (ack_inflight_) return;
@@ -565,7 +672,7 @@ void Channel::rpc_timeout_scan() {
 }
 
 void Channel::keepalive_fire() {
-  if (state_ != State::established) return;
+  if (state_ != State::established || !qp_.valid()) return;
   const Config& cfg = ctx_.config();
   const Nanos now = ctx_.engine().now();
   const Nanos idle = now - std::max(last_tx_, last_rx_);
@@ -576,7 +683,7 @@ void Channel::keepalive_fire() {
     return;
   }
   if (keepalive_outstanding_ && now - last_alive_ >= cfg.keepalive_timeout) {
-    fail(Errc::peer_dead);
+    handle_transport_fault(Errc::peer_dead);
     return;
   }
   // Zero-byte RDMA Write: hardware-acked, costs the peer no CPU and no
@@ -600,31 +707,53 @@ void Channel::on_keepalive_wc(Errc status) {
     keepalive_outstanding_ = false;
     last_alive_ = ctx_.engine().now();
   } else {
-    fail(Errc::peer_dead);
+    handle_transport_fault(Errc::peer_dead);
   }
 }
 
 void Channel::on_qp_error(Errc reason) {
-  if (reason == Errc::transport_retry_exceeded) reason = Errc::peer_dead;
-  fail(reason);
+  // Report the true cause: transport_retry_exceeded (a retryable path
+  // fault) and peer_dead (keepalive-declared silence) get different
+  // recovery budgets, and the application sees what actually happened.
+  handle_transport_fault(reason);
 }
 
 void Channel::close() {
-  if (state_ != State::established) return;
+  if (state_ != State::established && state_ != State::recovering) return;
+  if (state_ == State::recovering) {
+    // Nothing to send the FIN on; tear down locally.
+    fail(Errc::channel_closed);
+    return;
+  }
   state_ = State::closing;
   fin_sent_ = true;
+  // A closing channel can never deliver responses: complete outstanding
+  // RPCs now instead of letting them ride to their timeouts.
+  abort_calls(Errc::channel_closed);
   post_control(kFlagFin);
+}
+
+void Channel::abort_calls(Errc reason) {
+  if (calls_.empty()) return;
+  auto calls = std::move(calls_);
+  calls_.clear();
+  stats_.rpc_aborts += calls.size();
+  for (auto& [id, pc] : calls) pc.cb(reason);
 }
 
 void Channel::fail(Errc reason) {
   if (state_ == State::error || state_ == State::closed) return;
   state_ = State::error;
   keepalive_timer_->cancel();
+  recovery_timer_->cancel();
+  if (tx_override_) {
+    restoring_ = true;
+    ctx_.restore_fallback(*this);
+    restoring_ = false;
+    tx_override_ = nullptr;
+  }
 
-  // Fail outstanding RPCs.
-  auto calls = std::move(calls_);
-  calls_.clear();
-  for (auto& [id, pc] : calls) pc.cb(reason);
+  abort_calls(reason);
 
   // Drop queued and in-flight sends.
   pending_tx_.clear();
@@ -635,10 +764,354 @@ void Channel::fail(Errc reason) {
     r.payload_block = MemBlock{};
   });
 
+  ctx_.purge_channel_wrs(id_);
+  ctx_.channel_detach_qp(*this);  // before release_qp clears the QP num
   release_qp(/*recycle=*/true);
   ++ctx_.stats().channel_errors;
   ctx_.channel_closed(*this);
   if (on_error_) on_error_(*this, reason);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery (§VI-C).
+
+void Channel::handle_transport_fault(Errc reason) {
+  if (state_ == State::recovering) return;  // already on it
+  if (mocked() && state_ == State::established) {
+    // Running on the fallback: an RDMA-side fault is moot — just shed the
+    // dead QP and stay on TCP.
+    if (qp_.valid()) {
+      ctx_.purge_channel_wrs(id_);
+      ctx_.channel_detach_qp(*this);
+      release_qp(/*recycle=*/true);
+      peer_qp_ = rnic::kInvalidId;
+    }
+    return;
+  }
+  if (state_ != State::established ||
+      ctx_.config().recovery_max_attempts == 0) {
+    fail(reason);
+    return;
+  }
+  start_recovery(reason);
+}
+
+void Channel::start_recovery(Errc reason) {
+  const Config& cfg = ctx_.config();
+  state_ = State::recovering;
+  recovery_reason_ = reason;
+  recovery_started_ = ctx_.engine().now();
+  recovery_attempt_ = 0;
+  // A keepalive-declared dead peer rarely comes back within the reconnect
+  // horizon, and each attempt burns the full CM timeout: halve the budget.
+  // Retryable transport faults (retry-exceeded, flush, resets) get it all.
+  recovery_budget_ =
+      reason == Errc::peer_dead
+          ? std::max<std::uint32_t>(1, cfg.recovery_max_attempts / 2)
+          : cfg.recovery_max_attempts;
+  ++stats_.recoveries_started;
+  keepalive_timer_->cancel();
+  keepalive_outstanding_ = false;
+  ack_inflight_ = false;
+  nop_inflight_ = false;
+  // Abandon the dead QP: purge its registered WRs (their WCs are already
+  // flushed or will never arrive), unroute it, recycle it via the QP cache.
+  ctx_.purge_channel_wrs(id_);
+  ctx_.channel_detach_qp(*this);
+  release_qp(/*recycle=*/true);
+  peer_qp_ = rnic::kInvalidId;
+
+  if (connector_) {
+    schedule_recovery_attempt();  // first attempt fires immediately
+  } else {
+    // Acceptor: the connector drives the resume handshake. Give it the
+    // worst-case active-side horizon, then declare the channel dead.
+    const Nanos horizon =
+        (ctx_.cm().costs().connect_timeout + 64 * cfg.recovery_backoff) *
+        (cfg.recovery_max_attempts + 1);
+    recovery_timer_->arm_after(std::max<Nanos>(millis(50), horizon));
+  }
+}
+
+void Channel::schedule_recovery_attempt() {
+  const Config& cfg = ctx_.config();
+  if (recovery_attempt_ >= recovery_budget_) {
+    escalate_or_fail();
+    return;
+  }
+  Nanos delay = 0;
+  if (recovery_attempt_ > 0) {
+    // Capped exponential backoff with +/-25% jitter so a fabric event does
+    // not produce a synchronized reconnect storm.
+    const std::uint32_t shift =
+        std::min<std::uint32_t>(recovery_attempt_ - 1, 6);
+    delay = cfg.recovery_backoff << shift;
+    const Nanos quarter = delay / 4;
+    if (quarter > 0) {
+      delay += static_cast<Nanos>(recovery_rng_.next_below(
+                   static_cast<std::uint64_t>(2 * quarter))) -
+               quarter;
+    }
+  }
+  recovery_timer_->arm_after(delay);
+}
+
+void Channel::recovery_timer_fire() {
+  if (state_ == State::recovering) {
+    if (!connector_) {
+      // Passive resume deadline expired: the peer never came back.
+      fail(recovery_reason_);
+      return;
+    }
+    ++recovery_attempt_;
+    ++stats_.recovery_attempts;
+    resume_inflight_ = true;
+    ctx_.initiate_resume(*this);
+    return;
+  }
+  if (state_ == State::established && mocked() && connector_) {
+    // Background RDMA probe while riding the fallback.
+    ++stats_.recovery_attempts;
+    resume_inflight_ = true;
+    ctx_.initiate_resume(*this);
+  }
+}
+
+void Channel::resume_attempt_failed(Errc) {
+  resume_inflight_ = false;
+  if (state_ == State::recovering) {
+    schedule_recovery_attempt();
+    return;
+  }
+  if (state_ == State::established) {
+    if (mocked()) {
+      arm_rdma_probe();
+    } else if (!qp_.valid()) {
+      // The fallback died while this probe was in flight and the probe
+      // failed too: no transport left — recover from scratch.
+      handle_transport_fault(Errc::connection_reset);
+    }
+  }
+}
+
+void Channel::resume_adopt(verbs::Qp qp, rnic::QpNum peer_qp, Seq peer_rta) {
+  resume_inflight_ = false;
+  // Adopt whenever the channel is still alive. The acceptor side routinely
+  // lands here established-and-unaware: its QP's death simply hasn't
+  // surfaced locally, but the peer's resume REQ is authoritative proof the
+  // old pair is dead. (Stale connector-side successes are filtered before
+  // this call, in initiate_resume's callback.)
+  if (state_ != State::recovering && state_ != State::established) {
+    ctx_.qp_cache_.put(qp.release());
+    return;
+  }
+  const bool was_recovering = state_ == State::recovering;
+  const bool was_mocked = mocked();
+  if (was_mocked) {
+    restoring_ = true;
+    ctx_.restore_fallback(*this);
+    restoring_ = false;
+    tx_override_ = nullptr;
+  }
+  if (qp_.valid()) {
+    // Peer-initiated resume replacing a QP we still hold (its error just
+    // hasn't surfaced here yet): drop ours first.
+    ctx_.purge_channel_wrs(id_);
+    ctx_.channel_detach_qp(*this);
+    release_qp(/*recycle=*/true);
+  }
+  recovery_timer_->cancel();
+  qp_ = std::move(qp);
+  peer_qp_ = peer_qp;
+  state_ = State::established;
+  ctx_.channel_attach_qp(*this);
+  post_bounce_buffers();
+
+  const Nanos now = ctx_.engine().now();
+  last_tx_ = last_rx_ = last_alive_ = now;
+  keepalive_outstanding_ = false;
+  keepalive_timer_->arm_after(ctx_.config().keepalive_intv);
+
+  // A passive QP swap on a channel that never noticed the fault is not a
+  // recovery; only count channels that were actually recovering (or being
+  // restored off the fallback).
+  if (was_recovering || was_mocked) {
+    ++stats_.recoveries_completed;
+    if (was_mocked) ++stats_.fallback_restores;
+    ++ctx_.stats().channels_recovered;
+    if (recovery_started_ > 0) {
+      ctx_.stats().recovery_latency.record(now - recovery_started_);
+      recovery_started_ = 0;
+    }
+  }
+
+  // Renegotiated seq state: the peer's REP carried its receive-window RTA.
+  // Retire everything it had fully received, replay the rest in order —
+  // the receiver window dedups, so delivery stays exactly-once in-order.
+  swin_.process_ack(peer_rta, [this](Seq, TxEntry& e) { free_tx_entry(e); });
+  restart_pending_pulls();
+  retransmit_unacked();
+  pump_tx();
+}
+
+void Channel::escalate_or_fail() {
+  if (ctx_.config().fallback_auto && ctx_.fallback_provider_) {
+    ++stats_.fallback_switches;
+    const std::uint64_t cid = id_;
+    ctx_.fallback_provider_(*this, [ctx = &ctx_, cid](Errc err) {
+      Channel* ch = ctx->channel_by_id(cid);
+      if (!ch || ch->state_ != State::recovering) return;
+      // Success lands through on_fallback_attached; only failures (the
+      // fallback could not be built either) arrive here still recovering.
+      if (err != Errc::ok) ch->fail(ch->recovery_reason_);
+    });
+    return;
+  }
+  fail(recovery_reason_);
+}
+
+void Channel::arm_rdma_probe() {
+  const Config& cfg = ctx_.config();
+  if (!cfg.fallback_auto || !connector_) return;
+  recovery_timer_->arm_after(
+      std::max<Nanos>(millis(1), 16 * cfg.recovery_backoff));
+}
+
+void Channel::on_fallback_attached() {
+  if (state_ != State::recovering) return;  // manual switch: nothing to replay
+  state_ = State::established;
+  recovery_timer_->cancel();
+  const Nanos now = ctx_.engine().now();
+  last_tx_ = last_rx_ = now;
+  ++stats_.recoveries_completed;
+  ++ctx_.stats().channels_recovered;
+  if (recovery_started_ > 0) {
+    ctx_.stats().recovery_latency.record(now - recovery_started_);
+    recovery_started_ = 0;
+  }
+  // Replay the unacked window inline over the stream; interrupted
+  // rendezvous pulls on the peer complete from these replays.
+  retransmit_unacked();
+  pump_tx();
+  arm_rdma_probe();  // keep probing RDMA; migrate back when it heals
+}
+
+void Channel::on_fallback_lost() {
+  tx_override_ = nullptr;
+  if (restoring_ || resume_inflight_) return;
+  if (state_ == State::established && !qp_.valid()) {
+    handle_transport_fault(Errc::connection_reset);
+  }
+}
+
+void Channel::retransmit_unacked() {
+  swin_.for_each_inflight(
+      [this](Seq s, TxEntry& e) { retransmit_entry(s, e); });
+}
+
+void Channel::retransmit_entry(Seq seq, TxEntry& e) {
+  ++stats_.recovery_retransmits;
+  last_tx_ = ctx_.engine().now();
+  WireHeader hdr = e.hdr;
+  hdr.seq = seq;
+  hdr.ack = rwin_.ack_to_send();
+  rwin_.note_ack_sent();
+  const std::uint32_t len = hdr.payload_len;
+
+  if (tx_override_) {
+    // Replay inline over the fallback stream, whatever the original shape
+    // (a rendezvous descriptor is useless without a QP to read through).
+    hdr.flags &= static_cast<std::uint16_t>(~kFlagLarge);
+    hdr.rv_addr = 0;
+    hdr.rv_rkey = 0;
+    Buffer wire = Buffer::make(hdr.wire_size() + len);
+    hdr.encode(wire.data());
+    if (len > 0) {
+      std::uint8_t* dst = wire.data() + hdr.wire_size();
+      if (e.payload_block.valid()) {
+        if (const std::uint8_t* src = ctx_.data_cache_.data(e.payload_block)) {
+          std::memcpy(dst, src, len);
+        }
+      } else if (e.inline_copy.data() && e.inline_copy.size() >= len) {
+        std::memcpy(dst, e.inline_copy.data(), len);
+      } else if (e.wire_block.valid()) {
+        if (const std::uint8_t* src = ctx_.ctrl_cache_.data(e.wire_block)) {
+          std::memcpy(dst, src + e.hdr.wire_size(), len);
+        }
+      }
+    }
+    ++stats_.mock_tx;
+    tx_override_(std::move(wire));
+    return;
+  }
+
+  if (e.wire_block.valid()) {
+    // Original wire bytes survive in the control cache: refresh the ack in
+    // place and repost (rendezvous descriptors stay valid — the payload
+    // block was never freed, and MRs outlive the QP).
+    if (std::uint8_t* dst = ctx_.ctrl_cache_.data(e.wire_block)) {
+      hdr.encode(dst);
+    }
+    e.hdr = hdr;
+    post_wire(hdr, e.wire_block, e.wire_len);
+    return;
+  }
+
+  // Emitted over the fallback originally (no wire block): rebuild for RDMA.
+  const Config& cfg = ctx_.config();
+  if (len > cfg.small_msg_size && !e.payload_block.valid()) {
+    hdr.flags |= kFlagLarge;
+    MemBlock payload_block = ctx_.data_cache_.alloc(len);
+    if (!payload_block.valid()) {
+      fail(Errc::resource_exhausted);
+      return;
+    }
+    if (std::uint8_t* dst = ctx_.data_cache_.data(payload_block);
+        dst && e.inline_copy.data()) {
+      std::memcpy(dst, e.inline_copy.data(), len);
+    }
+    e.payload_block = payload_block;
+  }
+  const bool large = e.payload_block.valid();
+  if (large) {
+    hdr.flags |= kFlagLarge;
+    hdr.rv_addr = e.payload_block.addr;
+    hdr.rv_rkey = e.payload_block.rkey;
+    MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size());
+    if (!block.valid()) {
+      fail(Errc::resource_exhausted);
+      return;
+    }
+    hdr.encode(ctx_.ctrl_cache_.data(block));
+    e.hdr = hdr;
+    e.wire_block = block;
+    e.wire_len = hdr.wire_size();
+    post_wire(hdr, block, e.wire_len);
+    return;
+  }
+  MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size() + len);
+  if (!block.valid()) {
+    fail(Errc::resource_exhausted);
+    return;
+  }
+  std::uint8_t* dst = ctx_.ctrl_cache_.data(block);
+  hdr.encode(dst);
+  if (len > 0 && e.inline_copy.data()) {
+    std::memcpy(dst + hdr.wire_size(), e.inline_copy.data(), len);
+  }
+  e.hdr = hdr;
+  e.wire_block = block;
+  e.wire_len = hdr.wire_size() + len;
+  post_wire(hdr, block, e.wire_len);
+}
+
+void Channel::restart_pending_pulls() {
+  if (tx_override_) return;  // fallback replays arrive inline instead
+  rwin_.for_each_pending([this](Seq s, RxState& r) {
+    if (r.reads_left == 0 || !r.payload_block.valid()) return;
+    r.reads_left = 0;
+    issue_pull_frags(s, r);
+  });
 }
 
 void Channel::release_qp(bool recycle) {
@@ -661,6 +1134,7 @@ void Channel::free_tx_entry(TxEntry& e) {
   if (e.payload_block.valid()) ctx_.data_cache_.free(e.payload_block);
   e.wire_block = MemBlock{};
   e.payload_block = MemBlock{};
+  e.inline_copy = Buffer{};
 }
 
 }  // namespace xrdma::core

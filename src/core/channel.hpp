@@ -13,7 +13,13 @@
 //     peer RNIC in hardware; a dead peer surfaces as a QP error and the
 //     channel releases its resources instead of leaking them;
 //   - NOP deadlock-break and standalone ACKs (windowless control messages);
-//   - built-in RPC (request/response with id matching and timeouts).
+//   - built-in RPC (request/response with id matching and timeouts);
+//   - self-healing (§VI-C): a transport fault parks the channel in
+//     `recovering`, re-establishes the QP through CM (drawing on the QP
+//     cache) with capped exponential backoff, replays the unacked send
+//     window (the receiver window dedups, so delivery stays exactly-once
+//     in-order), and — once the reconnect budget is exhausted — escalates
+//     to the Mock TCP fallback while probing RDMA in the background.
 //
 // Everything runs run-to-complete inside Context::polling(); a channel is
 // owned by exactly one context/thread and takes no locks.
@@ -26,6 +32,7 @@
 #include <memory>
 
 #include "common/bytes.hpp"
+#include "common/rng.hpp"
 #include "common/status.hpp"
 #include "core/memcache.hpp"
 #include "core/msg.hpp"
@@ -42,6 +49,7 @@ class Channel {
  public:
   enum class State : std::uint8_t {
     established,
+    recovering,  // transport fault: QP resume / fallback escalation running
     closing,
     closed,
     error,
@@ -87,6 +95,9 @@ class Channel {
   rnic::QpNum peer_qp_num() const { return peer_qp_; }
   Context& context() { return ctx_; }
   const ChannelStats& stats() const { return stats_; }
+  /// Connection token minted at connect time: the stable identity that
+  /// survives QP replacement (resume handshake, Mock fallback hello).
+  std::uint64_t conn_token() const { return conn_token_; }
   Nanos last_tx_time() const { return last_tx_; }
   Nanos last_rx_time() const { return last_rx_; }
   std::size_t inflight_msgs() const { return swin_.inflight(); }
@@ -104,6 +115,14 @@ class Channel {
   /// Ingress for bytes arriving over the alternate transport (one whole
   /// wire message per call).
   void on_alt_rx(const std::uint8_t* data, std::uint32_t len);
+  /// The fallback transport finished attaching (tx_override installed). A
+  /// recovering channel resumes here: it replays the unacked window over
+  /// the new path and, on the connector side, keeps probing RDMA so the
+  /// channel migrates back when the path heals.
+  void on_fallback_attached();
+  /// The fallback stream died or was torn down. Unsolicited loss while the
+  /// QP is also gone re-enters recovery.
+  void on_fallback_lost();
 
  private:
   friend class Context;
@@ -119,6 +138,9 @@ class Channel {
   struct TxEntry {
     MemBlock wire_block;     // the SEND bytes (header [+ inline payload])
     MemBlock payload_block;  // rendezvous source (large messages)
+    WireHeader hdr;          // as emitted — the retransmit template
+    std::uint32_t wire_len = 0;
+    Buffer inline_copy;      // payload kept for entries with no wire block
     Nanos t_queued = 0;
     std::uint16_t flags = 0;
   };
@@ -143,7 +165,7 @@ class Channel {
                MemBlock zc_block, std::uint64_t trace_hint = 0);
   void pump_tx();
   void emit_data(PendingSend&& p);
-  void post_wire(MemBlock block, std::uint32_t len);
+  void post_wire(const WireHeader& hdr, MemBlock block, std::uint32_t len);
   void post_control(std::uint16_t flags);
 
   // RX path.
@@ -152,9 +174,11 @@ class Channel {
   void handle_data(const WireHeader& hdr, const std::uint8_t* bytes,
                    std::uint32_t len);
   void start_rendezvous_pull(Seq seq, RxState& rx);
+  void issue_pull_frags(Seq seq, RxState& rx);
   void on_read_frag_done(Seq seq, Errc status);
   void deliver(Seq seq, RxState& rx);
   void maybe_standalone_ack();
+  void force_ack();
 
   // Control plumbing (driven by Context).
   void on_send_wc_control(std::uint16_t flags);
@@ -163,9 +187,25 @@ class Channel {
   void keepalive_fire();
   void on_keepalive_wc(Errc status);
   void on_qp_error(Errc reason);
+  void post_bounce_buffers();
   void fail(Errc reason);
+  void abort_calls(Errc reason);
   void release_qp(bool recycle);
   void free_tx_entry(TxEntry& e);
+
+  // Recovery (§VI-C). Any transport-level fault funnels through
+  // handle_transport_fault, which decides between recovery and fail().
+  void handle_transport_fault(Errc reason);
+  void start_recovery(Errc reason);
+  void schedule_recovery_attempt();
+  void recovery_timer_fire();
+  void resume_attempt_failed(Errc reason);
+  void resume_adopt(verbs::Qp qp, rnic::QpNum peer_qp, Seq peer_rta);
+  void escalate_or_fail();
+  void arm_rdma_probe();
+  void retransmit_unacked();
+  void retransmit_entry(Seq seq, TxEntry& e);
+  void restart_pending_pulls();
 
   Context& ctx_;
   verbs::Qp qp_;
@@ -197,6 +237,21 @@ class Channel {
   Nanos last_alive_ = 0;  // last hardware-level proof the peer RNIC lives
   Nanos last_tx_ = 0;
   Nanos last_rx_ = 0;
+
+  // Recovery state. The single timer serves three roles, dispatched on
+  // state: reconnect backoff (connector), passive resume deadline
+  // (acceptor), and background RDMA probe (while on the fallback).
+  bool connector_ = false;          // we dialed; we drive the resume
+  std::uint16_t connect_port_ = 0;  // peer's listen port (resume target)
+  std::uint64_t conn_token_ = 0;
+  Errc recovery_reason_ = Errc::ok;
+  std::uint32_t recovery_attempt_ = 0;
+  std::uint32_t recovery_budget_ = 0;
+  Nanos recovery_started_ = 0;
+  std::unique_ptr<sim::DeadlineTimer> recovery_timer_;
+  Rng recovery_rng_;  // backoff jitter (seeded per channel, deterministic)
+  bool resume_inflight_ = false;
+  bool restoring_ = false;  // deliberate fallback teardown in progress
 
   std::function<Errc(Buffer)> tx_override_;
 

@@ -43,6 +43,17 @@ const std::map<std::string, OnlineParam>& online_params() {
         [](Config& c, std::int64_t v) {
           c.max_outstanding_wrs = static_cast<std::uint32_t>(v);
         }}},
+      {"recovery_max_attempts",
+       {[](const Config& c) { return std::int64_t{c.recovery_max_attempts}; },
+        [](Config& c, std::int64_t v) {
+          c.recovery_max_attempts = static_cast<std::uint32_t>(v);
+        }}},
+      {"recovery_backoff_us",
+       {[](const Config& c) { return c.recovery_backoff / kNanosPerMicro; },
+        [](Config& c, std::int64_t v) { c.recovery_backoff = micros(v); }}},
+      {"fallback_auto",
+       {[](const Config& c) { return std::int64_t{c.fallback_auto}; },
+        [](Config& c, std::int64_t v) { c.fallback_auto = v != 0; }}},
   };
   return params;
 }

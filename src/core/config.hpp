@@ -27,6 +27,16 @@ struct Config {
   Nanos polling_warn_cycle = millis(1); // gap between polls that trips a warn
   std::uint32_t trace_sample_mask = 0;  // trace msg when (seq & mask) == 0
 
+  // ---- Channel recovery ----
+  // On QP error the channel parks its window and re-establishes a QP
+  // through the CM instead of failing; 0 disables recovery (old behavior:
+  // any transport fault is fatal).
+  std::uint32_t recovery_max_attempts = 4;
+  Nanos recovery_backoff = micros(500);  // base reconnect backoff (doubles)
+  // After recovery_max_attempts failed reconnects, escalate onto the Mock
+  // TCP fallback when a fallback provider is installed.
+  bool fallback_auto = true;
+
   // ---- Offline (Table III) ----
   bool use_srq = false;
   std::uint32_t cq_size = 8192;

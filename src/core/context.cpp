@@ -9,20 +9,41 @@ namespace xrdma::core {
 
 namespace {
 constexpr std::uint32_t kHandshakeMagic = 0x5852434d;  // "XRCM"
+constexpr std::uint32_t kHsResume = 1u << 0;  // re-attach to a live channel
 
-Buffer encode_handshake(std::uint32_t window_depth) {
-  Buffer b = Buffer::make(8);
+// CM private data (both REQ and REP): window depth negotiation plus the
+// connection token (the identity that survives QP replacement) and, for
+// resume handshakes, the sender's receive-window RTA so the peer retires
+// acked-but-unconfirmed entries before retransmitting the rest.
+struct Handshake {
+  std::uint32_t depth = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t token = 0;
+  std::uint64_t rta = 0;
+};
+
+Buffer encode_handshake(std::uint32_t window_depth, std::uint32_t flags,
+                        std::uint64_t token, std::uint64_t rta) {
+  Buffer b = Buffer::make(32);
   std::memcpy(b.data(), &kHandshakeMagic, 4);
   std::memcpy(b.data() + 4, &window_depth, 4);
+  std::memcpy(b.data() + 8, &flags, 4);
+  std::memcpy(b.data() + 16, &token, 8);
+  std::memcpy(b.data() + 24, &rta, 8);
   return b;
 }
 
-std::uint32_t decode_handshake(const Buffer& b, std::uint32_t fallback) {
-  if (b.size() < 8 || !b.data()) return fallback;
-  std::uint32_t magic = 0, depth = 0;
+std::optional<Handshake> decode_handshake(const Buffer& b) {
+  if (b.size() < 32 || !b.data()) return std::nullopt;
+  std::uint32_t magic = 0;
   std::memcpy(&magic, b.data(), 4);
-  std::memcpy(&depth, b.data() + 4, 4);
-  return magic == kHandshakeMagic && depth > 0 ? depth : fallback;
+  if (magic != kHandshakeMagic) return std::nullopt;
+  Handshake hs;
+  std::memcpy(&hs.depth, b.data() + 4, 4);
+  std::memcpy(&hs.flags, b.data() + 8, 4);
+  std::memcpy(&hs.token, b.data() + 16, 8);
+  std::memcpy(&hs.rta, b.data() + 24, 8);
+  return hs;
 }
 
 // Deterministic per-process context counter: contexts are created in a
@@ -100,10 +121,31 @@ Errc Context::listen(std::uint16_t port, ChannelHandler on_channel) {
         return spec;
       },
       /*make_private_data=*/
-      [this](const Buffer&) { return encode_handshake(cfg_.window_depth); },
+      [this](const Buffer& req) {
+        if (auto hs = decode_handshake(req);
+            hs && (hs->flags & kHsResume) != 0) {
+          if (Channel* ch = channel_by_token(hs->token)) {
+            return encode_handshake(cfg_.window_depth, kHsResume, hs->token,
+                                    ch->rx_rta());
+          }
+        }
+        return encode_handshake(cfg_.window_depth, 0, 0, 0);
+      },
       /*on_accept=*/
       [this, port](verbs::cm::Established est) {
-        Channel* ch = adopt_established(std::move(est));
+        auto hs = decode_handshake(est.private_data);
+        if (hs && (hs->flags & kHsResume) != 0) {
+          // Peer-driven QP resume: route the fresh QP into the existing
+          // channel instead of creating a new one.
+          if (Channel* ch = channel_by_token(hs->token)) {
+            ch->resume_adopt(std::move(est.qp), est.peer_qp, hs->rta);
+          } else {
+            qp_cache_.put(est.qp.release());  // channel is gone: recycle
+          }
+          return;
+        }
+        Channel* ch = adopt_established(std::move(est), /*connector=*/false,
+                                        port, hs ? hs->token : 0);
         auto it = listeners_.find(port);
         if (ch && it != listeners_.end() && it->second.on_channel) {
           it->second.on_channel(*ch);
@@ -115,20 +157,29 @@ Errc Context::listen(std::uint16_t port, ChannelHandler on_channel) {
 
 void Context::connect(net::NodeId node, std::uint16_t port,
                       ConnectCallback cb) {
+  // The token is the channel identity that outlives its QP: resume
+  // handshakes and the Mock fallback hello both key on it.
+  const std::uint64_t token =
+      trace_epoch_ ^ (0x9e3779b97f4a7c15ull * ++next_conn_token_);
   verbs::cm::ConnectOptions opts;
   opts.send_cq = send_cq_.id();
   opts.recv_cq = recv_cq_.id();
   opts.caps = qp_caps();
   opts.srq = srq_;
-  opts.private_data = encode_handshake(cfg_.window_depth);
+  opts.private_data = encode_handshake(cfg_.window_depth, 0, token, 0);
   opts.reuse_qp = qp_cache_.take();
+  const std::optional<rnic::QpNum> reused = opts.reuse_qp;
   cm_.connect(nic_, node, port, std::move(opts),
-              [this, cb = std::move(cb)](Result<verbs::cm::Established> r) {
+              [this, port, token, reused,
+               cb = std::move(cb)](Result<verbs::cm::Established> r) {
                 if (!r.ok()) {
+                  if (reused) qp_cache_.put(*reused);
                   cb(r.error());
                   return;
                 }
-                Channel* ch = adopt_established(std::move(r.value()));
+                Channel* ch = adopt_established(std::move(r.value()),
+                                                /*connector=*/true, port,
+                                                token);
                 if (!ch) {
                   cb(Errc::internal);
                   return;
@@ -144,18 +195,23 @@ rnic::QpCaps Context::qp_caps() const {
   return caps;
 }
 
-Channel* Context::adopt_established(verbs::cm::Established est) {
-  const std::uint32_t peer_depth =
-      decode_handshake(est.private_data, cfg_.window_depth);
+Channel* Context::adopt_established(verbs::cm::Established est, bool connector,
+                                    std::uint16_t port, std::uint64_t token) {
+  const auto hs = decode_handshake(est.private_data);
+  const std::uint32_t peer_depth = hs ? hs->depth : cfg_.window_depth;
   const std::uint32_t send_depth = std::min(peer_depth, cfg_.window_depth);
   const std::uint64_t id = next_channel_id_++;
   auto ch = std::unique_ptr<Channel>(
       new Channel(*this, std::move(est.qp), est.peer_node, id, send_depth));
   ch->peer_qp_ = est.peer_qp;
+  ch->connector_ = connector;
+  ch->connect_port_ = port;
+  ch->conn_token_ = token;
   Channel* raw = ch.get();
   channels_.push_back(std::move(ch));
   by_qp_[raw->qp_num()] = raw;
   by_id_[id] = raw;
+  if (token != 0) by_token_[token] = raw;
   ++stats_.channels_opened;
   raw->init_established();
   return raw;
@@ -163,6 +219,7 @@ Channel* Context::adopt_established(verbs::cm::Established est) {
 
 void Context::channel_closed(Channel& ch) {
   by_qp_.erase(ch.qp_num());
+  if (ch.conn_token_ != 0) by_token_.erase(ch.conn_token_);
   ++stats_.channels_closed;
   // The object stays alive (the application may hold a pointer); only the
   // routing entries go away. by_id_ survives for in-flight callbacks.
@@ -171,6 +228,92 @@ void Context::channel_closed(Channel& ch) {
 Channel* Context::channel_by_id(std::uint64_t id) {
   auto it = by_id_.find(id);
   return it == by_id_.end() ? nullptr : it->second;
+}
+
+Channel* Context::channel_by_token(std::uint64_t token) {
+  if (token == 0) return nullptr;
+  auto it = by_token_.find(token);
+  return it == by_token_.end() ? nullptr : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Channel recovery plumbing.
+
+void Context::initiate_resume(Channel& ch) {
+  verbs::cm::ConnectOptions opts;
+  opts.send_cq = send_cq_.id();
+  opts.recv_cq = recv_cq_.id();
+  opts.caps = qp_caps();
+  opts.srq = srq_;
+  opts.private_data = encode_handshake(cfg_.window_depth, kHsResume,
+                                       ch.conn_token_, ch.rx_rta());
+  opts.reuse_qp = qp_cache_.take();
+  const std::optional<rnic::QpNum> reused = opts.reuse_qp;
+  const std::uint64_t id = ch.id();
+  cm_.connect(nic_, ch.peer_node(), ch.connect_port_, std::move(opts),
+              [this, id, reused](Result<verbs::cm::Established> r) {
+                Channel* ch = channel_by_id(id);
+                // The channel may have been failed/closed, or may already be
+                // running on the fallback, while the handshake was in flight.
+                const bool want =
+                    ch && (ch->state() == Channel::State::recovering ||
+                           (ch->state() == Channel::State::established &&
+                            ch->mocked()));
+                if (!r.ok()) {
+                  if (reused) qp_cache_.put(*reused);
+                  if (want) ch->resume_attempt_failed(r.error());
+                  return;
+                }
+                verbs::cm::Established est = std::move(r.value());
+                if (!want) {
+                  qp_cache_.put(est.qp.release());
+                  return;
+                }
+                const auto hs = decode_handshake(est.private_data);
+                ch->resume_adopt(std::move(est.qp), est.peer_qp,
+                                 hs ? hs->rta : 0);
+              });
+}
+
+void Context::channel_detach_qp(Channel& ch) {
+  auto it = by_qp_.find(ch.qp_num());
+  if (it != by_qp_.end() && it->second == &ch) by_qp_.erase(it);
+}
+
+void Context::channel_attach_qp(Channel& ch) { by_qp_[ch.qp_num()] = &ch; }
+
+void Context::purge_channel_wrs(std::uint64_t channel_id) {
+  // Deferred WRs never hit the NIC and never held a credit: just drop them.
+  for (auto it = deferred_wrs_.begin(); it != deferred_wrs_.end();) {
+    if (it->channel_id == channel_id) {
+      wrs_.erase(it->wr.wr_id);
+      it = deferred_wrs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Registered WRs: collect first — wr_completed() may repost deferred WRs
+  // and mutate wrs_, invalidating iterators.
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, info] : wrs_) {
+    if (info.channel_id == channel_id) ids.push_back(id);
+  }
+  for (std::uint64_t id : ids) {
+    auto it = wrs_.find(id);
+    if (it == wrs_.end()) continue;
+    WrInfo info = std::move(it->second);
+    wrs_.erase(it);
+    if (info.block.valid()) ctrl_cache_.free(info.block);
+    if (info.counted) wr_completed();
+  }
+}
+
+void Context::restore_fallback(Channel& ch) {
+  if (fallback_restore_) {
+    fallback_restore_(ch);
+  } else {
+    ch.set_tx_override(nullptr);
+  }
 }
 
 std::vector<Channel*> Context::channels() {
@@ -190,6 +333,10 @@ std::uint64_t Context::register_wr(WrInfo info) {
 }
 
 void Context::post_or_queue(Channel& ch, verbs::SendWr wr) {
+  // A WR whose registry entry is gone was purged during recovery while its
+  // deferred post was in flight: dropping it is the only safe option (its
+  // buffers may already be retired).
+  if (!wrs_.count(wr.wr_id)) return;
   if (cfg_.flowctl && outstanding_wrs_ >= cfg_.max_outstanding_wrs) {
     // Queuing (§V-C): buffer the WR instead of letting the send queue and
     // the fabric absorb a burst.
@@ -284,13 +431,13 @@ void Context::dispatch_send_wc(const verbs::Wc& wc) {
   Channel* ch = channel_by_id(info.channel_id);
   switch (info.kind) {
     case WrInfo::Kind::data_send:
-      if (wc.status != Errc::ok && ch) ch->fail(wc.status);
+      if (wc.status != Errc::ok && ch) ch->handle_transport_fault(wc.status);
       break;
     case WrInfo::Kind::ctrl_send:
       if (info.block.valid()) ctrl_cache_.free(info.block);
       if (ch) {
         if (wc.status != Errc::ok) {
-          ch->fail(wc.status);
+          ch->handle_transport_fault(wc.status);
         } else {
           ch->on_send_wc_control(info.flags);
         }

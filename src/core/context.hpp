@@ -125,14 +125,37 @@ class Context {
   void set_peer_clock_offset(Nanos toff) { clock_offset_estimate_ = toff; }
   Nanos peer_clock_offset() const { return clock_offset_estimate_; }
 
-  /// Fault injection hook (Filter, §VI-C): consulted on message ingress.
-  enum class FilterAction { pass, drop, delay };
+  /// Fault injection hooks (Filter, §VI-C): consulted on message ingress
+  /// (set_filter) and egress (set_egress_filter). `corrupt` flips one
+  /// pseudorandom byte (chosen by corrupt_seed) in the wire bytes.
+  enum class FilterAction { pass, drop, delay, corrupt };
   struct FilterDecision {
     FilterAction action = FilterAction::pass;
     Nanos delay = 0;
+    std::uint64_t corrupt_seed = 0;
   };
   using FilterHook = std::function<FilterDecision(Channel&, const WireHeader&)>;
   void set_filter(FilterHook hook) { filter_ = std::move(hook); }
+  void set_egress_filter(FilterHook hook) { egress_filter_ = std::move(hook); }
+
+  // --- Channel recovery / automatic fallback (§VI-C) ------------------------
+  /// Escalation target once recovery_max_attempts reconnects fail: switch
+  /// `ch` onto an alternate transport (the Mock TCP fallback installs
+  /// itself here via MockFallback::enable_auto).
+  using FallbackProvider = std::function<void(Channel&, std::function<void(Errc)>)>;
+  void set_fallback_provider(FallbackProvider f) {
+    fallback_provider_ = std::move(f);
+  }
+  /// Undo hook: detach `ch` from the alternate transport (RDMA healed).
+  void set_fallback_restore(std::function<void(Channel&)> f) {
+    fallback_restore_ = std::move(f);
+  }
+
+  verbs::cm::CmService& cm() { return cm_; }
+  Channel* channel_by_id(std::uint64_t id);
+  /// Lookup by the connection token minted at connect time — the stable
+  /// identity that survives QP replacement (resume handshake, Mock hello).
+  Channel* channel_by_token(std::uint64_t token);
 
  private:
   friend class Channel;
@@ -157,7 +180,6 @@ class Context {
   void release_wr(std::uint64_t wr_id) { wrs_.erase(wr_id); }
   void dispatch_send_wc(const verbs::Wc& wc);
   void dispatch_recv_wc(const verbs::Wc& wc);
-  Channel* channel_by_id(std::uint64_t id);
   rnic::QpCaps qp_caps() const;
 
   // Flow control (§V-C queuing): bounded outstanding WRs, excess queued.
@@ -169,8 +191,26 @@ class Context {
   void wr_completed();
 
   // Channel lifecycle.
-  Channel* adopt_established(verbs::cm::Established est);
+  Channel* adopt_established(verbs::cm::Established est, bool connector,
+                             std::uint16_t port, std::uint64_t token);
   void channel_closed(Channel& ch);
+
+  // Channel recovery (driven by Channel).
+  /// QP resume handshake toward the channel's peer: a CM connect carrying
+  /// the connection token and our rwin RTA in the private data. Lands in
+  /// Channel::resume_adopt on success, resume_attempt_failed otherwise.
+  void initiate_resume(Channel& ch);
+  /// Remove the by_qp_ routing entry while the channel has no QP.
+  void channel_detach_qp(Channel& ch);
+  /// Re-register the channel under its fresh QP.
+  void channel_attach_qp(Channel& ch);
+  /// Drop every registered WR of a channel whose QP is being abandoned,
+  /// returning the flow-control credits they held (their WCs either sit in
+  /// the CQ already — ignored once unregistered — or will never arrive).
+  void purge_channel_wrs(std::uint64_t channel_id);
+  /// Detach `ch` from the alternate transport (restore hook or plain
+  /// tx_override clear).
+  void restore_fallback(Channel& ch);
 
   void scan_tick();  // deadlock NOPs, RPC timeouts
   void poll_loop_step();
@@ -194,7 +234,9 @@ class Context {
   std::list<std::unique_ptr<Channel>> channels_;
   std::unordered_map<rnic::QpNum, Channel*> by_qp_;
   std::unordered_map<std::uint64_t, Channel*> by_id_;
+  std::unordered_map<std::uint64_t, Channel*> by_token_;
   std::uint64_t next_channel_id_ = 1;
+  std::uint64_t next_conn_token_ = 0;
 
   struct PortListener {
     std::unique_ptr<verbs::cm::Listener> listener;
@@ -222,6 +264,9 @@ class Context {
   Nanos last_shrink_ = 0;
 
   FilterHook filter_;
+  FilterHook egress_filter_;
+  FallbackProvider fallback_provider_;
+  std::function<void(Channel&)> fallback_restore_;
   ContextStats stats_;
   SpanSink* span_sink_ = nullptr;
   std::uint64_t trace_epoch_ = 0;

@@ -27,8 +27,17 @@ struct ChannelStats {
   std::uint64_t rpc_calls = 0;
   std::uint64_t rpc_timeouts = 0;
   std::uint64_t bad_messages = 0;   // framing / protocol anomalies
-  std::uint64_t filtered_drops = 0; // fault-injection drops
+  std::uint64_t filtered_drops = 0; // fault-injection ingress drops
+  std::uint64_t egress_drops = 0;   // fault-injection egress drops
   std::uint64_t mock_tx = 0;        // messages sent over the TCP fallback
+  std::uint64_t dup_msgs_rx = 0;    // recovery retransmits already delivered
+  std::uint64_t recoveries_started = 0;
+  std::uint64_t recovery_attempts = 0;   // CM resume handshakes issued
+  std::uint64_t recoveries_completed = 0;
+  std::uint64_t recovery_retransmits = 0;  // window entries re-sent on resume
+  std::uint64_t fallback_switches = 0;  // escalations onto the TCP fallback
+  std::uint64_t fallback_restores = 0;  // returns from TCP to RDMA
+  std::uint64_t rpc_aborts = 0;  // RPCs completed channel_closed at close()
 };
 
 struct ContextStats {
@@ -42,7 +51,9 @@ struct ContextStats {
   std::uint64_t channels_opened = 0;
   std::uint64_t channels_closed = 0;
   std::uint64_t channel_errors = 0;
+  std::uint64_t channels_recovered = 0;  // recoveries brought back to service
   Histogram rpc_latency;  // ns, across all channels
+  Histogram recovery_latency;  // ns, fault detection -> channel usable again
 };
 
 }  // namespace xrdma::core

@@ -63,6 +63,12 @@ class SendWindow {
     return &ring_.at(static_cast<std::size_t>(seq - tx_acked_));
   }
 
+  /// Visit every unacked entry in seq order — the retransmit-from-window
+  /// walk of channel recovery. `fn` must not push or ack.
+  void for_each_inflight(const std::function<void(Seq, T&)>& fn) {
+    for (Seq s = tx_acked_; s < tx_seq_; ++s) fn(s, *find(s));
+  }
+
  private:
   RingBuffer<T> ring_;
   Seq tx_seq_ = 0;    // next sequence number to assign

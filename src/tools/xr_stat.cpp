@@ -12,6 +12,7 @@ namespace {
 const char* state_name(core::Channel::State s) {
   switch (s) {
     case core::Channel::State::established: return "ESTABLISHED";
+    case core::Channel::State::recovering: return "RECOVERING";
     case core::Channel::State::closing: return "CLOSING";
     case core::Channel::State::closed: return "CLOSED";
     case core::Channel::State::error: return "ERROR";
@@ -22,13 +23,15 @@ const char* state_name(core::Channel::State s) {
 
 std::string xr_stat(core::Context& ctx) {
   std::ostringstream os;
-  os << strfmt("%-6s %-6s %-12s %10s %10s %12s %12s %8s %8s %6s %6s %5s\n",
+  os << strfmt("%-6s %-6s %-12s %10s %10s %12s %12s %8s %8s %6s %6s %5s "
+               "%5s %5s %5s\n",
                "peer", "qp", "state", "msgs_tx", "msgs_rx", "bytes_tx",
-               "bytes_rx", "inflight", "queued", "acks", "nops", "ka");
+               "bytes_rx", "inflight", "queued", "acks", "nops", "ka",
+               "recov", "retx", "fallb");
   for (core::Channel* ch : ctx.channels()) {
     const auto& s = ch->stats();
     os << strfmt("%-6u %-6u %-12s %10llu %10llu %12llu %12llu %8zu %8zu "
-                 "%6llu %6llu %5llu\n",
+                 "%6llu %6llu %5llu %5llu %5llu %5llu\n",
                  ch->peer_node(), ch->qp_num(), state_name(ch->state()),
                  static_cast<unsigned long long>(s.msgs_tx),
                  static_cast<unsigned long long>(s.msgs_rx),
@@ -37,7 +40,10 @@ std::string xr_stat(core::Context& ctx) {
                  ch->inflight_msgs(), ch->queued_msgs(),
                  static_cast<unsigned long long>(s.acks_tx),
                  static_cast<unsigned long long>(s.nops_tx),
-                 static_cast<unsigned long long>(s.keepalive_probes));
+                 static_cast<unsigned long long>(s.keepalive_probes),
+                 static_cast<unsigned long long>(s.recoveries_completed),
+                 static_cast<unsigned long long>(s.recovery_retransmits),
+                 static_cast<unsigned long long>(s.fallback_switches));
   }
   return os.str();
 }
@@ -45,11 +51,17 @@ std::string xr_stat(core::Context& ctx) {
 std::string xr_stat_summary(core::Context& ctx) {
   std::ostringstream os;
   const auto& cs = ctx.stats();
-  os << strfmt("node %u: channels=%zu opened=%llu closed=%llu errors=%llu\n",
+  os << strfmt("node %u: channels=%zu opened=%llu closed=%llu errors=%llu "
+               "recovered=%llu\n",
                ctx.node(), ctx.num_channels(),
                static_cast<unsigned long long>(cs.channels_opened),
                static_cast<unsigned long long>(cs.channels_closed),
-               static_cast<unsigned long long>(cs.channel_errors));
+               static_cast<unsigned long long>(cs.channel_errors),
+               static_cast<unsigned long long>(cs.channels_recovered));
+  if (cs.recovery_latency.count() > 0) {
+    os << strfmt("  recovery_latency: %s\n",
+                 cs.recovery_latency.summary().c_str());
+  }
   os << strfmt("  polling: polls=%llu empty=%llu slow=%llu worst_gap=%s "
                "parks=%llu wakeups=%llu\n",
                static_cast<unsigned long long>(cs.polls),

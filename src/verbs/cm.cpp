@@ -2,6 +2,21 @@
 
 namespace xrdma::verbs::cm {
 
+namespace {
+/// A failed connect abandons the client QP: a caller-supplied (cached) QP
+/// goes back to RESET so it can be re-cached; a QP we created is destroyed.
+void abandon_qp(rnic::Rnic& nic, bool reused, QpNum qpn) {
+  if (qpn == rnic::kInvalidId) return;
+  if (reused) {
+    QpAttr attr;
+    attr.state = QpState::reset;
+    nic.modify_qp(qpn, attr);
+  } else {
+    nic.destroy_qp(qpn);
+  }
+}
+}  // namespace
+
 Listener::Listener(CmService& svc, rnic::Rnic& nic, std::uint16_t port,
                    std::function<AcceptSpec()> make_spec,
                    std::function<Buffer(const Buffer&)> make_private_data,
@@ -52,22 +67,50 @@ void CmService::connect(rnic::Rnic& nic, net::NodeId dst, std::uint16_t port,
     QpAttr init;
     init.state = QpState::init;
     nic.modify_qp(client_qpn, init);
+    const bool reused = shared->reuse_qp.has_value();
+
+    // Injected control-plane faults (Filter, §VI-C): a refused attempt
+    // costs the REQ/REP round trip, an unanswered one the full timeout.
+    if (fault_hook_) {
+      if (auto injected = fault_hook_(nic.node(), dst, port)) {
+        const Errc rc = *injected;
+        const Nanos penalty = rc == Errc::timed_out ? costs_.connect_timeout
+                                                    : 2 * costs_.msg_delay;
+        engine_.schedule_after(penalty, [&nic, reused, client_qpn, rc,
+                                         cb = std::move(cb)] {
+          abandon_qp(nic, reused, client_qpn);
+          cb(rc);
+        });
+        return;
+      }
+    }
 
     // Phase 2: REQ hop to the listener.
     engine_.schedule_after(costs_.msg_delay, [this, &nic, dst, port, shared,
-                                              client_qpn,
+                                              client_qpn, reused,
                                               cb = std::move(cb)]() mutable {
       auto it = listeners_.find({dst, port});
       if (it == listeners_.end()) {
         // REP(reject) hop back.
-        engine_.schedule_after(costs_.msg_delay, [&nic, client_qpn,
+        engine_.schedule_after(costs_.msg_delay, [&nic, reused, client_qpn,
                                                   cb = std::move(cb)] {
-          nic.destroy_qp(client_qpn);
+          abandon_qp(nic, reused, client_qpn);
           cb(Errc::connection_refused);
         });
         return;
       }
       Listener* listener = it->second;
+      if (!listener->nic_.alive()) {
+        // The listener's host is down: the REQ goes unanswered and the
+        // connect times out instead of being rejected.
+        engine_.schedule_after(costs_.connect_timeout, [&nic, reused,
+                                                        client_qpn,
+                                                        cb = std::move(cb)] {
+          abandon_qp(nic, reused, client_qpn);
+          cb(Errc::timed_out);
+        });
+        return;
+      }
 
       // Phase 3 (server): accept processing, QP setup to RTS.
       engine_.schedule_after(

@@ -30,6 +30,7 @@ struct CmCosts {
   Nanos modify_rts = micros(701);
   Nanos accept_cost = micros(200);  // server-side processing
   Nanos msg_delay = micros(25);     // REQ / REP out-of-band hop
+  Nanos connect_timeout = millis(5);  // REQ unanswered (peer host down)
 
   Nanos total_with_create() const {
     return qp_create + modify_init + modify_rtr + modify_rts + accept_cost +
@@ -103,7 +104,9 @@ struct ConnectOptions {
   std::uint8_t rnr_retry = 3;
   Buffer private_data;
   /// A cached QP in RESET state to reuse instead of creating one — the
-  /// QP-cache fast path. Must belong to the connecting RNIC.
+  /// QP-cache fast path. Must belong to the connecting RNIC. On a failed
+  /// connect a reused QP is returned to RESET (never destroyed), so the
+  /// caller can put it back into its cache.
   std::optional<QpNum> reuse_qp;
 };
 
@@ -120,6 +123,14 @@ class CmService {
   void connect(rnic::Rnic& nic, net::NodeId dst, std::uint16_t port,
                ConnectOptions opts, ConnectCallback cb);
 
+  /// Fault injection (Filter, §VI-C): consulted per connect attempt.
+  /// Returning an error fails the attempt — Errc::timed_out models an
+  /// unanswered REQ (charged connect_timeout); anything else is a prompt
+  /// REP(reject).
+  using FaultHook = std::function<std::optional<Errc>(
+      net::NodeId src, net::NodeId dst, std::uint16_t port)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   friend class Listener;
   void add_listener(Listener* l);
@@ -128,6 +139,7 @@ class CmService {
   sim::Engine& engine_;
   CmCosts costs_;
   std::map<std::pair<net::NodeId, std::uint16_t>, Listener*> listeners_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace xrdma::verbs::cm

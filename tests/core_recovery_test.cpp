@@ -1,0 +1,257 @@
+// Self-healing channels (§VI-C): transparent QP recovery with
+// retransmit-from-window, true-cause error reporting, prompt RPC completion
+// on close, automatic TCP-fallback escalation after repeated CM failures,
+// and probe-based restoration to RDMA once the path heals.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/filter.hpp"
+#include "analysis/mock.hpp"
+#include "core/context.hpp"
+#include "testbed/cluster.hpp"
+#include "tools/xr_stat.hpp"
+
+namespace xrdma::core {
+namespace {
+
+using analysis::FaultKind;
+using analysis::FaultRule;
+using analysis::Filter;
+using analysis::MockFallback;
+
+struct Pair {
+  testbed::Cluster cluster;
+  Context server;
+  Context client;
+  Channel* client_ch = nullptr;
+  Channel* server_ch = nullptr;
+
+  explicit Pair(Config cfg = {}, testbed::ClusterConfig ccfg = {})
+      : cluster(ccfg),
+        server(cluster.rnic(1), cluster.cm(), cfg),
+        client(cluster.rnic(0), cluster.cm(), cfg) {}
+
+  void establish(std::uint16_t port = 7000) {
+    server.listen(port, [this](Channel& ch) { server_ch = &ch; });
+    client.connect(1, port, [this](Result<Channel*> r) {
+      ASSERT_TRUE(r.ok());
+      client_ch = r.value();
+    });
+    cluster.engine().run_for(millis(20));
+    ASSERT_NE(client_ch, nullptr);
+    ASSERT_NE(server_ch, nullptr);
+    server.config().poll_mode = PollMode::busy;
+    client.config().poll_mode = PollMode::busy;
+    server.start_polling_loop();
+    client.start_polling_loop();
+  }
+
+  void run(Nanos d) { cluster.engine().run_for(d); }
+};
+
+TEST(Recovery, QpKillMidTransferDeliversExactlyOnceInOrder) {
+  Pair t;
+  t.establish();
+  Filter filter(t.client, /*seed=*/11);
+
+  // 32 in-flight messages, several large enough to go rendezvous so the
+  // kill lands mid-pull for some of them.
+  std::vector<std::size_t> plan;
+  for (int i = 0; i < 32; ++i) {
+    plan.push_back(i % 5 == 2 ? 200000 + static_cast<std::size_t>(i)
+                              : 64 + static_cast<std::size_t>(i));
+  }
+  std::vector<std::size_t> got;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { got.push_back(m.payload.size()); });
+  bool app_saw_error = false;
+  t.client_ch->set_on_error([&](Channel&, Errc) { app_saw_error = true; });
+
+  for (std::size_t s : plan) t.client_ch->send_msg(Buffer::make(s));
+  filter.kill_qp_after(t.client_ch->id(), micros(150));  // mid-transfer
+  t.run(millis(80));
+
+  // Every message exactly once, in order, with zero application involvement.
+  EXPECT_EQ(got, plan);
+  EXPECT_FALSE(app_saw_error);
+  EXPECT_EQ(t.client_ch->state(), Channel::State::established);
+  EXPECT_EQ(filter.injected(FaultKind::qp_kill), 1u);
+  EXPECT_GE(t.client_ch->stats().recoveries_started, 1u);
+  EXPECT_GE(t.client_ch->stats().recoveries_completed, 1u);
+  EXPECT_GT(t.client_ch->stats().recovery_retransmits, 0u);
+
+  // The channel is fully functional afterwards.
+  t.client_ch->send_msg(Buffer::make(99));
+  t.run(millis(5));
+  ASSERT_EQ(got.size(), plan.size() + 1);
+  EXPECT_EQ(got.back(), 99u);
+}
+
+TEST(Recovery, ServerSideQpKillAlsoHealsTransparently) {
+  Pair t;
+  t.establish();
+  Filter filter(t.server, /*seed=*/5);
+
+  std::vector<std::size_t> got;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { got.push_back(m.payload.size()); });
+  const std::vector<std::size_t> plan = {10, 120000, 20, 30, 250000, 40};
+  for (std::size_t s : plan) t.client_ch->send_msg(Buffer::make(s));
+  // Kill the *acceptor's* QP: the connector notices via transport errors /
+  // keepalive and drives the resume; the acceptor waits passively.
+  filter.kill_qp_after(t.server_ch->id(), micros(120));
+  t.run(millis(150));
+
+  EXPECT_EQ(got, plan);
+  EXPECT_EQ(t.client_ch->state(), Channel::State::established);
+  EXPECT_EQ(t.server_ch->state(), Channel::State::established);
+}
+
+TEST(Recovery, TrueCauseReportedAndRetryableGetsFullBudget) {
+  // Satellite: on_qp_error no longer collapses everything into peer_dead.
+  // A locally flushed QP (wr_flush_error) is a retryable fault: the channel
+  // burns the FULL recovery budget and, when every attempt fails with no
+  // fallback available, reports the true original cause.
+  Config cfg;
+  cfg.fallback_auto = false;
+  Pair t(cfg);
+  t.establish();
+  Filter filter(t.client, /*seed=*/3);
+  filter.add_rule({FaultKind::cm_timeout, 1.0, 0, -1, 0});  // resume never works
+
+  Errc seen = Errc::ok;
+  t.client_ch->set_on_error([&](Channel&, Errc e) { seen = e; });
+  filter.kill_qp(*t.client_ch);
+  t.run(millis(200));
+
+  EXPECT_EQ(seen, Errc::wr_flush_error);  // the true cause, not peer_dead
+  EXPECT_EQ(t.client_ch->state(), Channel::State::error);
+  EXPECT_EQ(t.client_ch->stats().recovery_attempts,
+            static_cast<std::uint64_t>(t.client.config().recovery_max_attempts));
+}
+
+TEST(Recovery, DeadPeerGetsHalvedBudgetAndPeerDeadCause) {
+  Config cfg;
+  cfg.keepalive_intv = millis(5);
+  cfg.keepalive_timeout = millis(20);
+  cfg.fallback_auto = false;
+  Pair t(cfg);
+  t.establish();
+
+  Errc seen = Errc::ok;
+  t.client_ch->set_on_error([&](Channel&, Errc e) { seen = e; });
+  t.run(millis(2));
+  t.cluster.host(1).set_alive(false);  // machine crash, no FIN
+  t.run(millis(300));
+
+  EXPECT_EQ(seen, Errc::peer_dead);
+  EXPECT_EQ(t.client_ch->state(), Channel::State::error);
+  // Dead-peer recovery uses the halved budget: reconnects to a dead machine
+  // each burn the full CM timeout, so the channel gives up sooner.
+  const auto max_attempts = t.client.config().recovery_max_attempts;
+  EXPECT_EQ(t.client_ch->stats().recovery_attempts,
+            static_cast<std::uint64_t>(max_attempts > 1 ? max_attempts / 2 : 1));
+}
+
+TEST(Recovery, CloseCompletesOutstandingRpcCallbacksPromptly) {
+  // Satellite: close() must not leave RPC callbacks hanging until their
+  // timeouts; they complete with channel_closed as the FIN goes out.
+  Pair t;
+  t.establish();
+  t.server_ch->set_on_msg([](Channel&, Msg&&) { /* never replies */ });
+
+  std::vector<Errc> results;
+  for (int i = 0; i < 3; ++i) {
+    t.client_ch->call(
+        Buffer::from_string("req" + std::to_string(i)),
+        [&](Result<Msg> r) { results.push_back(r.ok() ? Errc::ok : r.error()); },
+        millis(500));  // timeout far beyond the test horizon
+  }
+  t.run(millis(2));
+  ASSERT_TRUE(results.empty());
+
+  t.client_ch->close();
+  t.run(millis(1));  // promptly — not after the 500ms RPC timeout
+  ASSERT_EQ(results.size(), 3u);
+  for (Errc e : results) EXPECT_EQ(e, Errc::channel_closed);
+  EXPECT_EQ(t.client_ch->stats().rpc_aborts, 3u);
+}
+
+TEST(Recovery, CmFailuresEscalateToTcpFallbackThenRestore) {
+  Pair t;
+  t.establish();
+  MockFallback server_mock(t.server, t.cluster.host(1).tcp(), 9300);
+  MockFallback::enable_auto(t.client, t.cluster.host(0).tcp(), 9300);
+
+  Filter filter(t.client, /*seed=*/17);
+  // Every resume attempt times out: after recovery_max_attempts the channel
+  // must escalate to the TCP fallback on its own.
+  const std::size_t cm_rule =
+      filter.add_rule({FaultKind::cm_timeout, 1.0, 0, -1, 0});
+
+  std::vector<std::string> got;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { got.push_back(m.payload.to_string()); });
+  bool app_saw_error = false;
+  t.client_ch->set_on_error([&](Channel&, Errc) { app_saw_error = true; });
+
+  t.client_ch->send_msg(Buffer::from_string("before-fault"));
+  t.run(millis(2));
+  filter.kill_qp(*t.client_ch);
+  // Sends issued mid-recovery park in the queue and flush on the fallback.
+  t.client_ch->send_msg(Buffer::from_string("during-recovery"));
+  t.run(millis(150));
+
+  EXPECT_TRUE(t.client_ch->mocked());
+  EXPECT_EQ(t.client_ch->state(), Channel::State::established);
+  EXPECT_EQ(t.client_ch->stats().fallback_switches, 1u);
+  EXPECT_GE(filter.injected(FaultKind::cm_timeout),
+            static_cast<std::uint64_t>(t.client.config().recovery_max_attempts));
+  EXPECT_FALSE(app_saw_error);
+
+  t.client_ch->send_msg(Buffer::from_string("over-tcp"));
+  t.run(millis(10));
+  EXPECT_EQ(got, (std::vector<std::string>{"before-fault", "during-recovery",
+                                           "over-tcp"}));
+
+  // Path heals: the background RDMA probe resumes the QP and the channel
+  // migrates off the fallback automatically.
+  filter.remove_rule(cm_rule);
+  t.run(millis(200));
+  EXPECT_FALSE(t.client_ch->mocked());
+  EXPECT_EQ(t.client_ch->state(), Channel::State::established);
+  EXPECT_EQ(t.client_ch->stats().fallback_restores, 1u);
+
+  const std::uint64_t rnic_tx_before = t.cluster.rnic(0).stats().tx_packets;
+  t.client_ch->send_msg(Buffer::from_string("rdma-again"));
+  t.run(millis(10));
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got.back(), "rdma-again");
+  EXPECT_GT(t.cluster.rnic(0).stats().tx_packets, rnic_tx_before);
+}
+
+TEST(Recovery, CountersVisibleInXrStat) {
+  Pair t;
+  t.establish();
+  Filter filter(t.client, /*seed=*/23);
+  int got = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&&) { ++got; });
+  for (int i = 0; i < 8; ++i) t.client_ch->send_msg(Buffer::make(64));
+  filter.kill_qp_after(t.client_ch->id(), micros(100));
+  t.run(millis(50));
+  ASSERT_EQ(got, 8);
+
+  EXPECT_EQ(t.client.stats().channels_recovered, 1u);
+  EXPECT_EQ(t.client.stats().recovery_latency.count(), 1u);
+  const std::string summary = tools::xr_stat_summary(t.client);
+  EXPECT_NE(summary.find("recovered=1"), std::string::npos);
+  EXPECT_NE(summary.find("recovery_latency"), std::string::npos);
+  const std::string table = tools::xr_stat(t.client);
+  EXPECT_NE(table.find("recov"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xrdma::core
