@@ -1,11 +1,20 @@
 #include "analysis/filter.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "core/channel.hpp"
 #include "rnic/types.hpp"
 
 namespace xrdma::analysis {
 
 namespace {
+constexpr const char* kFaultKindNames[kNumFaultKinds] = {
+    "ingress_drop", "ingress_delay", "ingress_corrupt",
+    "egress_drop",  "egress_delay",  "egress_corrupt",
+    "qp_kill",      "cm_refuse",     "cm_timeout",
+};
+
 bool is_ingress(FaultKind k) {
   return k == FaultKind::ingress_drop || k == FaultKind::ingress_delay ||
          k == FaultKind::ingress_corrupt;
@@ -15,6 +24,50 @@ bool is_egress(FaultKind k) {
          k == FaultKind::egress_corrupt;
 }
 }  // namespace
+
+const char* to_string(FaultKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kNumFaultKinds ? kFaultKindNames[i] : "unknown";
+}
+
+std::optional<FaultKind> fault_kind_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+    if (name == kFaultKindNames[i]) return static_cast<FaultKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::string format_rule(const FaultRule& rule) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %.17g %llu %ld %lld",
+                to_string(rule.kind), rule.probability,
+                static_cast<unsigned long long>(rule.channel_id),
+                static_cast<long>(rule.budget),
+                static_cast<long long>(rule.delay));
+  return buf;
+}
+
+std::optional<FaultRule> parse_rule(std::string_view line) {
+  char kind[32] = {};
+  double prob = 0;
+  unsigned long long channel = 0;
+  long budget = 0;
+  long long delay = 0;
+  const std::string copy(line);
+  if (std::sscanf(copy.c_str(), "%31s %lg %llu %ld %lld", kind, &prob,
+                  &channel, &budget, &delay) != 5) {
+    return std::nullopt;
+  }
+  const auto k = fault_kind_from_string(kind);
+  if (!k) return std::nullopt;
+  FaultRule rule;
+  rule.kind = *k;
+  rule.probability = prob;
+  rule.channel_id = channel;
+  rule.budget = static_cast<std::int32_t>(budget);
+  rule.delay = delay;
+  return rule;
+}
 
 Filter::Filter(core::Context& ctx, std::uint64_t seed) : ctx_(ctx) {
   rng_.reseed(seed);

@@ -25,6 +25,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -54,6 +57,16 @@ struct FaultRule {
   Nanos delay = 0;              // *_delay: max extra latency, drawn uniform
                                 // in [1,delay]; 0 means a 50us default
 };
+
+/// Stable textual names for FaultKind — the vocabulary of the X-Check
+/// replay-file format, so a dumped fault schedule survives enum reordering.
+const char* to_string(FaultKind kind);
+std::optional<FaultKind> fault_kind_from_string(std::string_view name);
+
+/// One-line textual form of a rule ("kind prob channel budget delay_ns"),
+/// and its inverse. Used by the X-Check schedule (de)serializer.
+std::string format_rule(const FaultRule& rule);
+std::optional<FaultRule> parse_rule(std::string_view line);
 
 class Filter {
  public:

@@ -1,0 +1,99 @@
+// X-Check runner: the property-based conformance harness (ROADMAP: "what
+// FoundationDB-style simulation testing buys you once the whole middleware
+// runs on a deterministic engine").
+//
+// One 64-bit seed expands into a Schedule — a randomized multi-node workload
+// (mixed eager / rendezvous / RPC traffic straddling the 4 KB cutoff and the
+// fragment boundaries, channel open/close churn) plus a randomized fault
+// schedule (drops, delays, QP kills, CM refusals) — which run_schedule()
+// executes on the simulated testbed while checking six invariant oracles:
+//
+//   1. exactly-once in-order delivery per channel (content-verified)
+//   2. seq-ack window conservation (SEQ/ACKED/WTA/RTA edge relations)
+//   3. memcache / QP-cache balance at quiesce (nothing leaks)
+//   4. the flow-control outstanding-WR cap is never exceeded
+//   5. no RNR condition, ever (the paper's RNR-freedom guarantee)
+//   6. trace-span completeness for sampled message ids
+//
+// A failing run prints its seed, dumps the schedule to a replay file
+// (re-runnable bit-for-bit with run_schedule(load_schedule(...))), and can
+// be handed to shrink_schedule() for greedy delta-debugging down to a
+// near-minimal repro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/schedule.hpp"
+
+namespace xrdma::check {
+
+struct RunOptions {
+  /// Evaluate the continuous oracles (2, 4, 5) from the engine's post-event
+  /// hook — at quiescent points between simulation events.
+  bool continuous_checks = true;
+  /// Observe every Nth engine event (1 = every event; higher = cheaper).
+  std::uint32_t probe_stride = 16;
+  /// On failure, dump the schedule here for replay ("" = don't).
+  std::string replay_path;
+  /// Print seed + violations to stderr on failure.
+  bool verbose = true;
+};
+
+struct RunReport {
+  std::uint64_t seed = 0;
+  /// FNV-1a fold of everything observable: per-flow delivery streams, RPC
+  /// and fault accounting, event count and end time. Two runs of the same
+  /// schedule must produce the same digest — the determinism contract.
+  std::uint64_t digest = 0;
+  std::uint64_t violations = 0;
+  std::vector<std::string> violation_samples;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_delivered = 0;
+  std::uint64_t rpcs_issued = 0;
+  std::uint64_t rpcs_completed = 0;
+  std::uint64_t rpcs_failed = 0;  // timeouts / closed-channel aborts: legal
+  std::uint64_t faults_injected = 0;
+  std::uint64_t span_posts = 0;
+  std::uint64_t span_delivers = 0;
+  std::uint64_t oracle_observations = 0;
+  std::uint64_t events = 0;
+  Nanos end_time = 0;
+  bool passed() const { return violations == 0; }
+};
+
+/// Execute one schedule and check every oracle. Deterministic: the same
+/// schedule always yields the same report (including the digest).
+RunReport run_schedule(const Schedule& s, const RunOptions& opt = {});
+
+/// generate_schedule + run_schedule in one step.
+RunReport check_seed(std::uint64_t seed, ScheduleParams params = {},
+                     const RunOptions& opt = {});
+
+struct ShrinkResult {
+  Schedule minimized;
+  std::size_t runs = 0;     // candidate executions spent
+  std::size_t removed = 0;  // items deleted from the original
+  bool still_fails = false; // the minimized schedule still reproduces
+};
+
+/// Greedy schedule shrinking (ddmin-lite): repeatedly delete chunks of
+/// ops/faults, keeping any deletion that preserves the failure, halving the
+/// chunk size when a sweep makes no progress. Runs at most `max_runs`
+/// candidate executions.
+ShrinkResult shrink_schedule(const Schedule& s, const RunOptions& opt = {},
+                             std::size_t max_runs = 200);
+
+/// The seed list for a smoke sweep. Honors two environment variables:
+///   XCHECK_SEED        a number (run exactly that seed) or "random"
+///                      (fresh base seed, printed for reproduction)
+///   XCHECK_SMOKE_COUNT how many seeds (default `default_count`)
+/// With neither set, returns `default_count` fixed golden-ratio seeds so
+/// ctest runs are deterministic.
+std::vector<std::uint64_t> smoke_seeds(std::uint32_t default_count = 20);
+
+/// One-line human summary ("seed 42: PASS, 87 msgs, 14 faults, ...").
+std::string describe(const RunReport& r);
+
+}  // namespace xrdma::check

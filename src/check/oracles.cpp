@@ -1,0 +1,151 @@
+#include "check/oracles.hpp"
+
+#include "common/logging.hpp"
+
+namespace xrdma::check {
+
+void ViolationLog::add(Nanos at, std::string what) {
+  ++total_;
+  if (entries_.size() < kMaxKept) {
+    entries_.push_back(strfmt("t=%lld: ", static_cast<long long>(at)) +
+                       std::move(what));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpanLedger (oracle 6).
+
+void SpanLedger::on_span_post(const core::SpanPostEvent& ev) {
+  ++posts_by_id_[ev.trace_id];
+  ++total_posts_;
+}
+
+void SpanLedger::on_span_deliver(const core::SpanDeliverEvent& ev) {
+  ++delivers_by_id_[ev.trace_id];
+  ++total_delivers_;
+}
+
+void SpanLedger::check(ViolationLog& log, Nanos now) const {
+  for (const auto& [id, count] : delivers_by_id_) {
+    const auto it = posts_by_id_.find(id);
+    if (it == posts_by_id_.end()) {
+      log.add(now, strfmt("trace-span completeness: trace id %llx delivered "
+                          "%u time(s) but never posted",
+                          static_cast<unsigned long long>(id), count));
+    }
+  }
+}
+
+void SpanLedger::fold(std::uint64_t& digest) const {
+  // FNV-1a over order-independent totals only; trace ids carry the
+  // process-global context salt and would break same-process replays.
+  const std::uint64_t values[4] = {
+      total_posts_, total_delivers_,
+      static_cast<std::uint64_t>(posts_by_id_.size()),
+      static_cast<std::uint64_t>(delivers_by_id_.size())};
+  for (const std::uint64_t v : values) {
+    for (int b = 0; b < 8; ++b) {
+      digest ^= (v >> (8 * b)) & 0xff;
+      digest *= 0x100000001b3ULL;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LiveOracle (oracles 2, 4, 5).
+
+void LiveOracle::attach(std::vector<core::Context*> contexts,
+                        std::vector<const rnic::Rnic*> nics,
+                        ViolationLog* log) {
+  contexts_ = std::move(contexts);
+  nics_ = std::move(nics);
+  log_ = log;
+}
+
+void LiveOracle::observe_channel(core::Channel& ch, Nanos now) {
+  using core::Seq;
+  const Seq tx_seq = ch.tx_seq();
+  const Seq acked = ch.tx_acked();
+  const Seq inflight = ch.inflight_msgs();
+
+  // Window conservation: every claimed SEQ is either retired by a
+  // cumulative ack or still occupies exactly one ring slot.
+  if (tx_seq < acked || tx_seq - acked != inflight) {
+    log_->add(now, strfmt("window conservation: channel %llu seq=%llu "
+                          "acked=%llu but inflight=%llu",
+                          static_cast<unsigned long long>(ch.id()),
+                          static_cast<unsigned long long>(tx_seq),
+                          static_cast<unsigned long long>(acked),
+                          static_cast<unsigned long long>(inflight)));
+  }
+  if (inflight > ch.send_window_depth()) {
+    log_->add(now, strfmt("window overrun: channel %llu inflight=%llu > "
+                          "depth=%u",
+                          static_cast<unsigned long long>(ch.id()),
+                          static_cast<unsigned long long>(inflight),
+                          ch.send_window_depth()));
+  }
+  const Seq wta = ch.rx_wta();
+  const Seq rta = ch.rx_rta();
+  if (rta > wta || wta - rta > ch.recv_window_depth()) {
+    log_->add(now, strfmt("recv window edges: channel %llu wta=%llu "
+                          "rta=%llu depth=%u",
+                          static_cast<unsigned long long>(ch.id()),
+                          static_cast<unsigned long long>(wta),
+                          static_cast<unsigned long long>(rta),
+                          ch.recv_window_depth()));
+  }
+
+  // Monotonicity: ACKED and RTA never move backwards — an entry retired
+  // twice (double completion) or a window rebuilt wrong would show here.
+  ChanMark& mark = marks_[{ch.context().node(), ch.id()}];
+  if (acked < mark.acked) {
+    log_->add(now, strfmt("acked edge moved backwards on channel %llu: "
+                          "%llu -> %llu",
+                          static_cast<unsigned long long>(ch.id()),
+                          static_cast<unsigned long long>(mark.acked),
+                          static_cast<unsigned long long>(acked)));
+  }
+  if (rta < mark.rta) {
+    log_->add(now, strfmt("rta edge moved backwards on channel %llu: "
+                          "%llu -> %llu",
+                          static_cast<unsigned long long>(ch.id()),
+                          static_cast<unsigned long long>(mark.rta),
+                          static_cast<unsigned long long>(rta)));
+  }
+  mark.acked = std::max(mark.acked, acked);
+  mark.rta = std::max(mark.rta, rta);
+}
+
+void LiveOracle::observe(Nanos now) {
+  if (!log_) return;
+  ++observations_;
+  for (core::Context* ctx : contexts_) {
+    // Flow-control cap (§V-C): posted-and-uncompleted WRs never exceed the
+    // configured bound while the queuing policy is on.
+    if (ctx->config().flowctl &&
+        ctx->outstanding_wrs() > ctx->config().max_outstanding_wrs) {
+      log_->add(now, strfmt("flow-control cap exceeded on node %u: "
+                            "outstanding=%u cap=%u",
+                            ctx->node(), ctx->outstanding_wrs(),
+                            ctx->config().max_outstanding_wrs));
+    }
+    for (core::Channel* ch : ctx->channels()) observe_channel(*ch, now);
+  }
+  if (!rnr_reported_) {
+    for (const rnic::Rnic* nic : nics_) {
+      if (nic->stats().rnr_naks_sent != 0 || nic->stats().rnr_events != 0) {
+        log_->add(now, strfmt("RNR condition on node %u: naks_sent=%llu "
+                              "rnr_events=%llu",
+                              nic->node(),
+                              static_cast<unsigned long long>(
+                                  nic->stats().rnr_naks_sent),
+                              static_cast<unsigned long long>(
+                                  nic->stats().rnr_events)));
+        rnr_reported_ = true;
+      }
+    }
+  }
+}
+
+}  // namespace xrdma::check

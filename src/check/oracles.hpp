@@ -1,0 +1,96 @@
+// X-Check invariant oracles.
+//
+// The harness checks six invariants against every run:
+//   1. exactly-once in-order delivery per channel  (harness delivery records)
+//   2. seq-ack window conservation                 (LiveOracle, continuous)
+//   3. memcache / QP-cache balance at quiesce      (harness quiesce checks)
+//   4. flow-control cap never exceeded             (LiveOracle, continuous)
+//   5. no RNR condition, ever                      (LiveOracle, continuous)
+//   6. trace-span completeness for sampled ids     (SpanLedger at quiesce)
+//
+// Continuous oracles run from the engine's post-event hook, i.e. at every
+// quiescent point between simulation events — the strongest observation
+// schedule a deterministic discrete-event system offers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/span.hpp"
+#include "rnic/rnic.hpp"
+
+namespace xrdma::check {
+
+/// Bounded violation sink: keeps the first kMaxKept messages verbatim and
+/// counts the rest, so a badly broken run doesn't drown the report.
+class ViolationLog {
+ public:
+  static constexpr std::size_t kMaxKept = 48;
+
+  void add(Nanos at, std::string what);
+  bool empty() const { return total_ == 0; }
+  std::uint64_t total() const { return total_; }
+  const std::vector<std::string>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::string> entries_;
+  std::uint64_t total_ = 0;
+};
+
+/// Oracle 6: records every span event from every context and, at quiesce,
+/// demands that each sampled (traced) message that was delivered also has a
+/// matching sender-side post — the paper's end-to-end tracing contract.
+class SpanLedger : public core::SpanSink {
+ public:
+  void on_span_post(const core::SpanPostEvent& ev) override;
+  void on_span_deliver(const core::SpanDeliverEvent& ev) override;
+
+  void check(ViolationLog& log, Nanos now) const;
+
+  std::uint64_t posts() const { return total_posts_; }
+  std::uint64_t delivers() const { return total_delivers_; }
+  /// Folds order-independent totals into a run digest (ids themselves are
+  /// salted per-process and therefore excluded).
+  void fold(std::uint64_t& digest) const;
+
+ private:
+  std::map<std::uint64_t, std::uint32_t> posts_by_id_;
+  std::map<std::uint64_t, std::uint32_t> delivers_by_id_;
+  std::uint64_t total_posts_ = 0;
+  std::uint64_t total_delivers_ = 0;
+};
+
+/// Oracles 2, 4 and 5, evaluated between simulation events: seq-ack window
+/// conservation and monotonicity per channel, the flow-control outstanding
+/// WR cap per context, and the global no-RNR guarantee.
+class LiveOracle {
+ public:
+  void attach(std::vector<core::Context*> contexts,
+              std::vector<const rnic::Rnic*> nics, ViolationLog* log);
+
+  /// One observation pass. Cheap enough to run every few engine events.
+  void observe(Nanos now);
+
+  std::uint64_t observations() const { return observations_; }
+
+ private:
+  struct ChanMark {
+    core::Seq acked = 0;
+    core::Seq rta = 0;
+  };
+
+  void observe_channel(core::Channel& ch, Nanos now);
+
+  std::vector<core::Context*> contexts_;
+  std::vector<const rnic::Rnic*> nics_;
+  ViolationLog* log_ = nullptr;
+  // (node, channel id) -> high-water marks for monotonicity checks.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, ChanMark> marks_;
+  bool rnr_reported_ = false;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace xrdma::check

@@ -1,0 +1,278 @@
+#include "check/schedule.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace xrdma::check {
+
+namespace {
+
+constexpr const char* kOpNames[] = {"open", "close", "send", "call"};
+
+std::optional<OpKind> op_kind_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (name == kOpNames[i]) return static_cast<OpKind>(i);
+  }
+  return std::nullopt;
+}
+
+struct SlotKey {
+  std::uint8_t src, dst, slot;
+  bool operator<(const SlotKey& o) const {
+    return std::tie(src, dst, slot) < std::tie(o.src, o.dst, o.slot);
+  }
+};
+
+/// Payload sizes that straddle every interesting protocol edge: the empty
+/// and 1-byte messages, the 4 KB eager cutoff, the fragment boundary of the
+/// run's frag_size, and the 64 KB boundary the default production config
+/// fragments at.
+std::vector<std::uint32_t> size_buckets(const ScheduleParams& p) {
+  const std::uint32_t fb = p.frag_size;
+  return {0,      1,          3,      64,         1024,   4095,
+          4096,   4097,       8192,   fb - 1,     fb,     fb + 1,
+          65535,  65536,      65537,  3 * fb + 7, 100000, 4 * fb + 1};
+}
+
+}  // namespace
+
+const char* to_string(OpKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < 4 ? kOpNames[i] : "unknown";
+}
+
+Schedule generate_schedule(std::uint64_t seed, ScheduleParams params) {
+  if (params.num_hosts < 2) params.num_hosts = 2;
+  Schedule s;
+  s.seed = seed;
+  s.params = params;
+  Rng rng(seed ^ 0xc0ffee5eedULL);
+
+  // Draw all op times first so ops can be assigned kinds in time order
+  // (slot-open tracking needs chronology).
+  std::vector<Nanos> times(params.num_ops);
+  for (auto& t : times) {
+    t = static_cast<Nanos>(rng.next_below(
+        static_cast<std::uint64_t>(params.horizon)));
+  }
+  std::sort(times.begin(), times.end());
+
+  const std::vector<std::uint32_t> sizes = size_buckets(params);
+  std::map<SlotKey, bool> open;
+  std::vector<SlotKey> ever_opened;
+  for (std::uint32_t i = 0; i < params.num_ops; ++i) {
+    Op op;
+    op.at = times[i];
+    op.src = static_cast<std::uint8_t>(rng.next_below(params.num_hosts));
+    op.dst = static_cast<std::uint8_t>(
+        (op.src + 1 + rng.next_below(params.num_hosts - 1)) %
+        params.num_hosts);
+    op.slot = static_cast<std::uint8_t>(rng.next_below(params.slots_per_pair));
+    const SlotKey key{op.src, op.dst, op.slot};
+
+    if (!open[key]) {
+      op.kind = OpKind::open;
+      open[key] = true;
+      ever_opened.push_back(key);
+    } else {
+      const std::uint64_t r = rng.next_below(100);
+      if (r < 7) {
+        op.kind = OpKind::close;
+        open[key] = false;
+      } else if (r < 27) {
+        op.kind = OpKind::call;
+      } else {
+        op.kind = OpKind::send;
+      }
+    }
+    if (op.kind == OpKind::send || op.kind == OpKind::call) {
+      op.size = sizes[rng.next_below(sizes.size())];
+      op.tag = rng.next_u64() | 1;
+    }
+    s.ops.push_back(op);
+  }
+
+  for (std::uint32_t i = 0; i < params.num_faults; ++i) {
+    FaultOp f;
+    // Leave the first stretch of the horizon fault-free so the earliest
+    // opens establish before the chaos starts.
+    f.at = params.horizon / 8 +
+           static_cast<Nanos>(rng.next_below(
+               static_cast<std::uint64_t>(params.horizon * 7 / 8)));
+    f.node = static_cast<std::uint8_t>(rng.next_below(params.num_hosts));
+    std::uint64_t r = rng.next_below(100);
+    using analysis::FaultKind;
+    if (params.with_corruption && r < 12) {
+      f.kind = r < 8 ? FaultKind::ingress_corrupt : FaultKind::egress_corrupt;
+    } else if (r < 24) {
+      f.kind = FaultKind::ingress_drop;
+    } else if (r < 42) {
+      f.kind = FaultKind::ingress_delay;
+    } else if (r < 58) {
+      f.kind = FaultKind::egress_drop;
+    } else if (r < 70) {
+      f.kind = FaultKind::egress_delay;
+    } else if (r < 88) {
+      f.kind = FaultKind::qp_kill;
+    } else if (r < 94) {
+      f.kind = FaultKind::cm_refuse;
+    } else {
+      f.kind = FaultKind::cm_timeout;
+    }
+    if (f.kind == FaultKind::qp_kill) {
+      if (ever_opened.empty()) {
+        f.kind = FaultKind::ingress_drop;
+      } else {
+        const SlotKey key = ever_opened[rng.next_below(ever_opened.size())];
+        f.src = key.src;
+        f.dst = key.dst;
+        f.slot = key.slot;
+        f.node = key.src;  // the kill is injected at the dialing side
+      }
+    }
+    if (f.kind == FaultKind::ingress_delay ||
+        f.kind == FaultKind::egress_delay) {
+      f.delay = micros(rng.uniform(20, 300));
+    }
+    s.faults.push_back(f);
+  }
+  std::stable_sort(s.faults.begin(), s.faults.end(),
+                   [](const FaultOp& a, const FaultOp& b) {
+                     return a.at < b.at;
+                   });
+  return s;
+}
+
+std::string serialize_schedule(const Schedule& s) {
+  std::ostringstream out;
+  out << "xcheck v1\n";
+  out << "seed " << s.seed << "\n";
+  const ScheduleParams& p = s.params;
+  out << "params hosts " << p.num_hosts << " slots " << p.slots_per_pair
+      << " numops " << p.num_ops << " numfaults " << p.num_faults
+      << " horizon " << p.horizon << " corrupt " << (p.with_corruption ? 1 : 0)
+      << " window " << p.window_depth << " wrs " << p.max_outstanding_wrs
+      << " mask " << p.trace_sample_mask << " frag " << p.frag_size << "\n";
+  for (const Op& op : s.ops) {
+    out << "op " << op.at << " " << to_string(op.kind) << " "
+        << unsigned{op.src} << " " << unsigned{op.dst} << " "
+        << unsigned{op.slot} << " " << op.size << " " << op.tag << "\n";
+  }
+  for (const FaultOp& f : s.faults) {
+    out << "fault " << f.at << " " << analysis::to_string(f.kind) << " "
+        << unsigned{f.node} << " " << unsigned{f.src} << " "
+        << unsigned{f.dst} << " " << unsigned{f.slot} << " " << f.delay
+        << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+bool deserialize_schedule(const std::string& text, Schedule& out) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "xcheck v1") return false;
+  Schedule s;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "seed") {
+      ls >> s.seed;
+    } else if (word == "params") {
+      ScheduleParams& p = s.params;
+      std::string key;
+      std::uint64_t value = 0;
+      while (ls >> key >> value) {
+        if (key == "hosts") p.num_hosts = static_cast<std::uint32_t>(value);
+        else if (key == "slots") p.slots_per_pair = static_cast<std::uint32_t>(value);
+        else if (key == "numops") p.num_ops = static_cast<std::uint32_t>(value);
+        else if (key == "numfaults") p.num_faults = static_cast<std::uint32_t>(value);
+        else if (key == "horizon") p.horizon = static_cast<Nanos>(value);
+        else if (key == "corrupt") p.with_corruption = value != 0;
+        else if (key == "window") p.window_depth = static_cast<std::uint32_t>(value);
+        else if (key == "wrs") p.max_outstanding_wrs = static_cast<std::uint32_t>(value);
+        else if (key == "mask") p.trace_sample_mask = static_cast<std::uint32_t>(value);
+        else if (key == "frag") p.frag_size = static_cast<std::uint32_t>(value);
+        else return false;
+      }
+    } else if (word == "op") {
+      Op op;
+      std::string kind;
+      unsigned src = 0, dst = 0, slot = 0;
+      ls >> op.at >> kind >> src >> dst >> slot >> op.size >> op.tag;
+      if (!ls) return false;
+      const auto k = op_kind_from_string(kind);
+      if (!k) return false;
+      op.kind = *k;
+      op.src = static_cast<std::uint8_t>(src);
+      op.dst = static_cast<std::uint8_t>(dst);
+      op.slot = static_cast<std::uint8_t>(slot);
+      s.ops.push_back(op);
+    } else if (word == "fault") {
+      FaultOp f;
+      std::string kind;
+      unsigned node = 0, src = 0, dst = 0, slot = 0;
+      ls >> f.at >> kind >> node >> src >> dst >> slot >> f.delay;
+      if (!ls) return false;
+      const auto k = analysis::fault_kind_from_string(kind);
+      if (!k) return false;
+      f.kind = *k;
+      f.node = static_cast<std::uint8_t>(node);
+      f.src = static_cast<std::uint8_t>(src);
+      f.dst = static_cast<std::uint8_t>(dst);
+      f.slot = static_cast<std::uint8_t>(slot);
+      s.faults.push_back(f);
+    } else if (word == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return false;
+    }
+  }
+  if (!saw_end) return false;
+  out = std::move(s);
+  return true;
+}
+
+bool save_schedule(const Schedule& s, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << serialize_schedule(s);
+  return static_cast<bool>(out);
+}
+
+bool load_schedule(const std::string& path, Schedule& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return deserialize_schedule(text.str(), out);
+}
+
+Schedule without_items(const Schedule& s,
+                       const std::vector<std::size_t>& drop) {
+  std::vector<bool> dead(s.items(), false);
+  for (std::size_t i : drop) {
+    if (i < dead.size()) dead[i] = true;
+  }
+  Schedule out;
+  out.seed = s.seed;
+  out.params = s.params;
+  for (std::size_t i = 0; i < s.ops.size(); ++i) {
+    if (!dead[i]) out.ops.push_back(s.ops[i]);
+  }
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    if (!dead[s.ops.size() + i]) out.faults.push_back(s.faults[i]);
+  }
+  return out;
+}
+
+}  // namespace xrdma::check

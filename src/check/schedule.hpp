@@ -1,0 +1,95 @@
+// X-Check schedules: the concrete, replayable description of one
+// property-based conformance run.
+//
+// A Schedule is everything the harness needs to reproduce a run bit for bit:
+// the generation seed, the cluster/config knobs, a time-ordered list of
+// workload operations (channel open/close churn, eager and rendezvous sends
+// straddling the 4 KB cutoff and the fragment boundary, RPCs), and a
+// time-ordered list of discrete fault injections (drops, delays, corruption,
+// QP kills, CM refusals). Every op and fault is one removable item, which is
+// what makes greedy schedule shrinking possible: deleting an item leaves a
+// schedule that is still well-formed (ops against never-opened channel slots
+// execute as no-ops).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/filter.hpp"
+#include "common/time.hpp"
+
+namespace xrdma::check {
+
+enum class OpKind : std::uint8_t { open, close, send, call };
+
+const char* to_string(OpKind kind);
+
+/// One workload operation. Channels are addressed by (src, dst, slot):
+/// node `src` dials node `dst`, and `slot` distinguishes parallel channels
+/// between the same pair (reused after a close — generation churn).
+struct Op {
+  Nanos at = 0;
+  OpKind kind = OpKind::send;
+  std::uint8_t src = 0;
+  std::uint8_t dst = 1;
+  std::uint8_t slot = 0;
+  std::uint32_t size = 0;   // payload bytes (send / call)
+  std::uint64_t tag = 0;    // content pattern seed; also the message identity
+};
+
+/// One discrete fault injection. Message faults arm a one-shot (budget-1)
+/// rule on `node`'s Filter at time `at`; qp_kill targets the channel at
+/// (src, dst, slot); cm_* poison the next connect/resume from `node`.
+struct FaultOp {
+  Nanos at = 0;
+  analysis::FaultKind kind = analysis::FaultKind::ingress_drop;
+  std::uint8_t node = 0;
+  std::uint8_t src = 0;
+  std::uint8_t dst = 0;
+  std::uint8_t slot = 0;
+  Nanos delay = 0;  // *_delay kinds: max extra latency
+};
+
+struct ScheduleParams {
+  std::uint32_t num_hosts = 3;
+  std::uint32_t num_ops = 110;
+  std::uint32_t num_faults = 14;
+  std::uint32_t slots_per_pair = 2;
+  Nanos horizon = millis(30);  // workload window; quiesce runs after it
+  // Corruption faults make runs *expected to fail*: the oracle suite
+  // assumes the transport does not corrupt (RC hardware CRC), so corrupt
+  // injections exist to validate detection + shrinking, not for smoke runs.
+  bool with_corruption = false;
+  // Config knobs the run is built with (the interesting protocol edges).
+  std::uint32_t window_depth = 8;
+  std::uint32_t max_outstanding_wrs = 8;
+  std::uint32_t trace_sample_mask = 3;  // trace every 4th message
+  std::uint32_t frag_size = 16 * 1024;  // small → more fragment boundaries
+};
+
+struct Schedule {
+  std::uint64_t seed = 0;
+  ScheduleParams params;
+  std::vector<Op> ops;        // sorted by .at
+  std::vector<FaultOp> faults;  // sorted by .at
+  std::size_t items() const { return ops.size() + faults.size(); }
+};
+
+/// Deterministic workload + fault-schedule generation: the same seed always
+/// yields the same Schedule.
+Schedule generate_schedule(std::uint64_t seed, ScheduleParams params = {});
+
+/// Replay-file round trip. The format is line-oriented text (one op or
+/// fault per line) so a minimized repro can be read, edited and committed.
+std::string serialize_schedule(const Schedule& s);
+bool deserialize_schedule(const std::string& text, Schedule& out);
+bool save_schedule(const Schedule& s, const std::string& path);
+bool load_schedule(const std::string& path, Schedule& out);
+
+/// Copy of `s` with the listed item indices removed. Items are indexed
+/// ops-first: [0, ops.size()) are ops, the rest faults. Out-of-range
+/// indices are ignored.
+Schedule without_items(const Schedule& s, const std::vector<std::size_t>& drop);
+
+}  // namespace xrdma::check

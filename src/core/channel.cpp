@@ -350,10 +350,25 @@ void Channel::on_send_wc_control(std::uint16_t flags) {
   if (flags & kFlagNop) nop_inflight_ = false;
   if ((flags & kFlagFin) && state_ == State::closing) {
     state_ = State::closed;
+    reclaim_windows();
     ctx_.channel_detach_qp(*this);  // before release_qp clears the QP num
     release_qp(/*recycle=*/true);
     ctx_.channel_closed(*this);
   }
+}
+
+void Channel::reclaim_windows() {
+  for (PendingSend& p : pending_tx_) {
+    if (p.zc_block.valid()) ctx_.data_cache_.free(p.zc_block);
+  }
+  pending_tx_.clear();
+  swin_.process_ack(swin_.next_seq(),
+                    [this](Seq, TxEntry& e) { free_tx_entry(e); });
+  rwin_.for_each_pending([this](Seq, RxState& r) {
+    if (r.payload_block.valid()) ctx_.data_cache_.free(r.payload_block);
+    r.payload_block = MemBlock{};
+  });
+  ctx_.purge_channel_wrs(id_);
 }
 
 // ---------------------------------------------------------------------------
@@ -440,6 +455,7 @@ void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
   if (hdr.has(kFlagFin)) {
     state_ = State::closed;
     abort_calls(Errc::channel_closed);
+    reclaim_windows();
     ctx_.channel_detach_qp(*this);  // before release_qp clears the QP num
     release_qp(/*recycle=*/true);
     ctx_.channel_closed(*this);
@@ -754,17 +770,7 @@ void Channel::fail(Errc reason) {
   }
 
   abort_calls(reason);
-
-  // Drop queued and in-flight sends.
-  pending_tx_.clear();
-  swin_.process_ack(swin_.next_seq(),
-                    [this](Seq, TxEntry& e) { free_tx_entry(e); });
-  rwin_.for_each_pending([this](Seq, RxState& r) {
-    if (r.payload_block.valid()) ctx_.data_cache_.free(r.payload_block);
-    r.payload_block = MemBlock{};
-  });
-
-  ctx_.purge_channel_wrs(id_);
+  reclaim_windows();
   ctx_.channel_detach_qp(*this);  // before release_qp clears the QP num
   release_qp(/*recycle=*/true);
   ++ctx_.stats().channel_errors;

@@ -104,6 +104,13 @@ class Channel {
   std::size_t queued_msgs() const { return pending_tx_.size(); }
   Seq tx_seq() const { return swin_.next_seq(); }
   Seq rx_rta() const { return rwin_.rta(); }
+  // X-Check window-conservation oracle: both window edges plus the
+  // negotiated depths, so SEQ/ACKED/WTA/RTA relationships are observable
+  // from outside between any two simulation events.
+  Seq tx_acked() const { return swin_.acked(); }
+  Seq rx_wta() const { return rwin_.wta(); }
+  std::uint32_t send_window_depth() const { return swin_.depth(); }
+  std::uint32_t recv_window_depth() const { return rwin_.depth(); }
 
   // --- Alternate transport (Mock, §VI-C) ------------------------------------
   /// When set, encoded messages bypass the QP and go through this hook
@@ -192,6 +199,12 @@ class Channel {
   void abort_calls(Errc reason);
   void release_qp(bool recycle);
   void free_tx_entry(TxEntry& e);
+  /// Terminal-state cleanup shared by fail() and both graceful-close
+  /// completions: drops queued sends, frees unacked window entries and
+  /// half-pulled rendezvous payloads, and purges this channel's WRs. A
+  /// channel closed with traffic still in flight (its ACK was lost) must
+  /// not keep those blocks — the X-Check balance oracle found the leak.
+  void reclaim_windows();
 
   // Recovery (§VI-C). Any transport-level fault funnels through
   // handle_transport_fault, which decides between recovery and fail().

@@ -94,6 +94,12 @@ class Context {
   /// Per-context salt folded into generated trace ids so ids never collide
   /// across contexts (channel ids and seqs both restart at 1 per context).
   std::uint64_t trace_epoch() const { return trace_epoch_; }
+  /// The default epoch mixes in a process-global instance counter, which is
+  /// right for production uniqueness but makes two same-seed simulation runs
+  /// in one process diverge (the epoch seeds per-channel backoff jitter and
+  /// conn tokens). Deterministic harnesses (X-Check) pin it per node before
+  /// any channel exists.
+  void set_trace_epoch(std::uint64_t epoch) { trace_epoch_ = epoch; }
 
   // --- Thread model ----------------------------------------------------------
   /// Drives polling() according to Config::poll_mode (busy / hybrid /
@@ -112,6 +118,10 @@ class Context {
   MemCache& ctrl_cache() { return ctrl_cache_; }
   MemCache& data_cache() { return data_cache_; }
   QpCache& qp_cache() { return qp_cache_; }
+  /// Flow-control state (§V-C), exposed for the X-Check cap oracle: posted
+  /// WRs counted against max_outstanding_wrs, and the deferred queue depth.
+  std::uint32_t outstanding_wrs() const { return outstanding_wrs_; }
+  std::size_t deferred_wr_count() const { return deferred_wrs_.size(); }
   std::vector<Channel*> channels();
   std::size_t num_channels() const { return by_qp_.size(); }
 

@@ -40,13 +40,29 @@ class QpCache {
     reset.state = rnic::QpState::reset;
     if (nic_.modify_qp(qpn, reset) != Errc::ok) {
       nic_.destroy_qp(qpn);
+      ++evictions_;
       return;
     }
     if (cached_.size() >= capacity_) {
       nic_.destroy_qp(qpn);
+      ++evictions_;
       return;
     }
     cached_.push_back(qpn);
+    ++recycles_;
+  }
+
+  /// Memory-pressure path: destroy cached QPs (oldest first) until at most
+  /// `target` remain. Returns how many were destroyed.
+  std::size_t shrink_to(std::size_t target) {
+    std::size_t destroyed = 0;
+    while (cached_.size() > target) {
+      nic_.destroy_qp(cached_.front());
+      cached_.pop_front();
+      ++destroyed;
+    }
+    evictions_ += destroyed;
+    return destroyed;
   }
 
   void clear() {
@@ -55,8 +71,11 @@ class QpCache {
   }
 
   std::size_t size() const { return cached_.size(); }
+  std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t recycles() const { return recycles_; }
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
   rnic::Rnic& nic_;
@@ -64,6 +83,8 @@ class QpCache {
   std::deque<rnic::QpNum> cached_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t recycles_ = 0;   // puts that landed in the cache
+  std::uint64_t evictions_ = 0;  // puts destroyed (capacity / reset failure)
 };
 
 }  // namespace xrdma::core

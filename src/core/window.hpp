@@ -103,6 +103,10 @@ class RecvWindow {
     if (seq - rx_rta_ >= slots_.size()) return nullptr;  // window overrun
     ++rx_wta_;
     Slot& s = slot(seq);
+    // Ring reuse: seq occupies the slot seq-depth vacated. Reset the state
+    // so nothing from the previous occupant leaks through (a 0-byte message
+    // must not deliver its predecessor's payload).
+    s.state = R{};
     s.occupied = true;
     s.complete = false;
     return &s.state;

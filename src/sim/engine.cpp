@@ -31,6 +31,7 @@ void Engine::fire(NodePtr node) {
   Callback cb = std::move(node->cb);
   node->cb = nullptr;
   cb();
+  if (post_hook_) post_hook_();
 }
 
 bool Engine::step() {

@@ -61,6 +61,12 @@ class Engine {
   std::size_t pending() const { return live_; }
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Conformance-harness hook (X-Check): invoked after every fired event,
+  /// i.e. at the quiescent points between callbacks where cross-component
+  /// invariants must hold. The hook may inspect any simulation state but
+  /// must not schedule or cancel events. Pass nullptr to disable.
+  void set_post_event_hook(Callback hook) { post_hook_ = std::move(hook); }
+
  private:
   struct EventId::Node {
     Nanos at;
@@ -83,6 +89,7 @@ class Engine {
   std::uint64_t processed_ = 0;
   std::size_t live_ = 0;  // scheduled and not yet fired/cancelled
   bool stopped_ = false;
+  Callback post_hook_;
   std::priority_queue<NodePtr, std::vector<NodePtr>, Later> queue_;
 };
 

@@ -45,6 +45,14 @@ struct ClusterConfig {
   rnic::RnicConfig rnic;
   tcpsim::TcpConfig tcp;
   verbs::cm::CmCosts cm;
+
+  /// Scenario shorthand: an n-host single-rack cluster with defaults
+  /// everywhere else — the shape X-Check and the multi-node tests want.
+  static ClusterConfig rack(int hosts) {
+    ClusterConfig cfg;
+    cfg.fabric = net::ClosConfig::rack(hosts);
+    return cfg;
+  }
 };
 
 class Cluster {

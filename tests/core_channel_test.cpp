@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/filter.hpp"
 #include "core/context.hpp"
 #include "testbed/cluster.hpp"
 
@@ -449,6 +450,109 @@ TEST(Channel, ManyMessagesBothDirectionsNoLossNoLeak) {
   // All tx blocks were returned to the caches.
   EXPECT_EQ(t.client_ch->inflight_msgs(), 0u);
   EXPECT_EQ(t.server_ch->inflight_msgs(), 0u);
+  EXPECT_EQ(t.client.data_cache().stats().guard_violations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fragmentation boundaries (§V-C). With frag_size = 64 KB, the pull loop's
+// fragment count flips exactly at the 64 KB edge; these pin the off-by-one
+// behaviour on both sides of it and the content integrity across the seam.
+
+TEST(ChannelFrag, ExactlyOneFragAtFragSize) {
+  Pair t;
+  t.establish();
+  const std::uint32_t frag = t.client.config().frag_size;  // 64 KB
+  Buffer received;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { received = std::move(m.payload); });
+
+  Buffer b = Buffer::make(frag);
+  fill_pattern(b, 7);
+  t.client_ch->send_msg(std::move(b));
+  t.run(millis(5));
+
+  ASSERT_EQ(received.size(), frag);
+  EXPECT_TRUE(check_pattern(received, 7));
+  EXPECT_EQ(t.server_ch->stats().reads_issued, 1u);  // len == frag: one read
+}
+
+TEST(ChannelFrag, OneByteEitherSideOfTheFragBoundary) {
+  Pair t;
+  t.establish();
+  const std::uint32_t frag = t.client.config().frag_size;
+  std::vector<Buffer> received;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { received.push_back(std::move(m.payload)); });
+
+  Buffer under = Buffer::make(frag - 1);
+  Buffer over = Buffer::make(frag + 1);
+  fill_pattern(under, 11);
+  fill_pattern(over, 13);
+  t.client_ch->send_msg(std::move(under));
+  t.client_ch->send_msg(std::move(over));
+  t.run(millis(10));
+
+  ASSERT_EQ(received.size(), 2u);
+  ASSERT_EQ(received[0].size(), frag - 1);
+  ASSERT_EQ(received[1].size(), frag + 1);
+  EXPECT_TRUE(check_pattern(received[0], 11));
+  EXPECT_TRUE(check_pattern(received[1], 13));
+  // frag-1 pulls in one read; frag+1 needs a second, one-byte read.
+  EXPECT_EQ(t.server_ch->stats().reads_issued, 3u);
+}
+
+TEST(ChannelFrag, ManyFragmentsRideTheWrFlowControlCap) {
+  // Tiny fragments force a fragment count an order of magnitude above the
+  // outstanding-WR cap, so most reads go through the deferred queue.
+  Config cfg;
+  cfg.frag_size = 1024;
+  Pair t(cfg);
+  t.establish();
+  const std::uint32_t len = 200 * 1024;  // 200 fragments vs cap of 16
+  Buffer received;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { received = std::move(m.payload); });
+
+  Buffer b = Buffer::make(len);
+  fill_pattern(b, 17);
+  t.client_ch->send_msg(std::move(b));
+  t.run(millis(50));
+
+  ASSERT_EQ(received.size(), len);
+  EXPECT_TRUE(check_pattern(received, 17));
+  EXPECT_EQ(t.server_ch->stats().reads_issued, 200u);
+  EXPECT_EQ(t.server.outstanding_wrs(), 0u);
+  EXPECT_EQ(t.server.deferred_wr_count(), 0u);
+}
+
+TEST(ChannelFrag, QpKillBetweenFragmentsStillDeliversExactlyOnce) {
+  // Kill the receiver's QP while the fragmented pull is mid-flight: the
+  // channel recovers, the sender replays the rendezvous descriptor from
+  // its window, and the message arrives once, intact.
+  Config cfg;
+  cfg.frag_size = 4 * 1024;
+  Pair t(cfg);
+  t.establish();
+  analysis::Filter filter(t.server, /*seed=*/29);
+
+  const std::uint32_t len = 1024 * 1024;  // 256 fragments
+  std::vector<Buffer> received;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { received.push_back(std::move(m.payload)); });
+
+  Buffer b = Buffer::make(len);
+  fill_pattern(b, 19);
+  t.client_ch->send_msg(std::move(b));
+  filter.kill_qp_after(t.server_ch->id(), micros(40));  // between frags
+  t.run(millis(80));
+
+  ASSERT_EQ(received.size(), 1u);
+  ASSERT_EQ(received[0].size(), len);
+  EXPECT_TRUE(check_pattern(received[0], 19));
+  EXPECT_GE(t.server_ch->stats().recoveries_started, 1u);
+  // The interrupted pull was restarted, so more reads than the minimum.
+  EXPECT_GT(t.server_ch->stats().reads_issued, 256u);
+  EXPECT_EQ(t.server.data_cache().stats().guard_violations, 0u);
   EXPECT_EQ(t.client.data_cache().stats().guard_violations, 0u);
 }
 

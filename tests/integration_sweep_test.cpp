@@ -7,8 +7,10 @@
 #include <memory>
 #include <tuple>
 
+#include "common/rng.hpp"
 #include "core/api.hpp"
 #include "core/context.hpp"
+#include "test_seed.hpp"
 #include "testbed/cluster.hpp"
 
 namespace xrdma::core {
@@ -47,6 +49,8 @@ class EndToEndSweep : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(EndToEndSweep, ContentExactlyOnceInOrder) {
   const auto [size, window, srq] = GetParam();
+  XRDMA_CASE_SEED(seed);
+  Rng rng(seed);
   Config cfg;
   cfg.window_depth = window;
   cfg.use_srq = srq;
@@ -54,19 +58,25 @@ TEST_P(EndToEndSweep, ContentExactlyOnceInOrder) {
   ASSERT_NE(t.client_ch, nullptr);
   ASSERT_NE(t.server_ch, nullptr);
 
-  const int count = 12;
+  // Per-message content keys come from the case RNG, so every run of a
+  // case checks the same bytes and a failure names the seed to replay.
+  const int count = 8 + static_cast<int>(rng.next_below(9));
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < count; ++i) keys.push_back(rng.next_u64());
   int got = 0;
   bool content_ok = true;
   std::uint64_t expected_seq = 0;
   t.server_ch->set_on_msg([&](Channel&, Msg&& m) {
     if (m.seq != expected_seq++) content_ok = false;
     if (m.payload.size() != size) content_ok = false;
-    if (!check_pattern(m.payload, 7000 + m.seq)) content_ok = false;
+    if (m.seq >= keys.size() || !check_pattern(m.payload, keys[m.seq])) {
+      content_ok = false;
+    }
     ++got;
   });
   for (int i = 0; i < count; ++i) {
     Buffer b = Buffer::make(size);
-    fill_pattern(b, 7000 + static_cast<std::uint64_t>(i));
+    fill_pattern(b, keys[static_cast<std::size_t>(i)]);
     ASSERT_EQ(t.client_ch->send_msg(std::move(b)), Errc::ok);
   }
   t.cluster.engine().run_for(millis(150));
@@ -96,18 +106,21 @@ class RpcSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(RpcSweep, EchoPreservesContentBothDirections) {
   const std::size_t size = GetParam();
+  XRDMA_CASE_SEED(seed);
+  Rng rng(seed);
+  const std::uint64_t key = rng.next_u64();
   Pair t;
   t.server_ch->set_on_msg([](Channel& ch, Msg&& m) {
     ASSERT_TRUE(m.is_rpc_req);
     ch.reply(m.rpc_id, std::move(m.payload));  // echo
   });
   Buffer req = Buffer::make(size);
-  fill_pattern(req, 31);
+  fill_pattern(req, key);
   bool ok = false;
   t.client_ch->call(std::move(req), [&](Result<Msg> r) {
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.value().payload.size(), size);
-    EXPECT_TRUE(check_pattern(r.value().payload, 31));
+    EXPECT_TRUE(check_pattern(r.value().payload, key));
     ok = true;
   });
   t.cluster.engine().run_for(millis(100));
@@ -248,6 +261,8 @@ TEST(Lifecycle, RpcCallbacksFailWhenPeerCrashesMidCall) {
 }
 
 TEST(Lifecycle, ManyChannelsBetweenSameContexts) {
+  XRDMA_CASE_SEED(seed);
+  Rng rng(seed);
   Pair t;
   std::vector<Channel*> extra;
   for (int i = 0; i < 16; ++i) {
@@ -261,8 +276,12 @@ TEST(Lifecycle, ManyChannelsBetweenSameContexts) {
   for (Channel* ch : t.server.channels()) {
     ch->set_on_msg([&](Channel&, Msg&&) { ++got; });
   }
-  for (Channel* ch : extra) ch->send_msg(Buffer::make(32));
-  t.cluster.engine().run_for(millis(10));
+  for (Channel* ch : extra) {
+    // Random sizes across the eager/rendezvous cutoff keep the churn from
+    // ossifying around one transfer mode.
+    ch->send_msg(Buffer::make(1 + rng.next_below(12000)));
+  }
+  t.cluster.engine().run_for(millis(30));
   EXPECT_EQ(got, 16);
   EXPECT_EQ(t.server.num_channels(), 17u);
 }

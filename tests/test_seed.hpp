@@ -1,0 +1,54 @@
+// Per-case deterministic RNG seeding for randomized tests.
+//
+// Every test case gets a distinct, stable seed derived from its fully
+// qualified name, so `ctest` runs are reproducible by construction. The
+// XRDMA_TEST_SEED environment variable mixes a base value into every
+// case's seed, letting CI (or a curious developer) sweep a fresh seed
+// space: `XRDMA_TEST_SEED=7 ./integration_sweep_test`. XRDMA_CASE_SEED
+// records the effective seed and the base as a SCOPED_TRACE, so any
+// assertion failure prints exactly what to export to reproduce it
+// standalone.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace xrdma::testing {
+
+inline std::uint64_t test_seed_base() {
+  if (const char* env = std::getenv("XRDMA_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0;
+}
+
+/// Stable per-case seed: FNV-1a over "Suite.Name" (including the value-
+/// parameterized suffix, so each sweep instantiation differs), mixed with
+/// the optional base.
+inline std::uint64_t case_seed() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string name =
+      std::string(info->test_suite_name()) + "." + info->name();
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= test_seed_base() * 0x9e3779b97f4a7c15ULL;
+  return h;
+}
+
+}  // namespace xrdma::testing
+
+/// Declares `var` as this case's seed and arms a SCOPED_TRACE so any
+/// failure below reports the seed and the env line that reproduces it.
+#define XRDMA_CASE_SEED(var)                                             \
+  const std::uint64_t var = ::xrdma::testing::case_seed();               \
+  SCOPED_TRACE(::testing::Message()                                      \
+               << "case seed " << var << " (reproduce standalone with "  \
+               << "XRDMA_TEST_SEED=" << ::xrdma::testing::test_seed_base() \
+               << " --gtest_filter matching this case)")
