@@ -113,6 +113,14 @@ void ContextMetrics::refresh() {
     agg.fallback_switches += s.fallback_switches;
     agg.fallback_restores += s.fallback_restores;
     agg.rpc_aborts += s.rpc_aborts;
+    agg.tx_would_block += s.tx_would_block;
+    agg.writable_signals += s.writable_signals;
+    agg.naks_tx += s.naks_tx;
+    agg.naks_rx += s.naks_rx;
+    agg.pulls_deferred += s.pulls_deferred;
+    agg.tx_mem_deferrals += s.tx_mem_deferrals;
+    agg.ctrl_alloc_failures += s.ctrl_alloc_failures;
+    agg.tx_shed += s.tx_shed;
     if (ch->usable()) ++established;
     inflight += ch->inflight_msgs();
     queued += ch->queued_msgs();
@@ -143,6 +151,14 @@ void ContextMetrics::refresh() {
   reg_.counter("chan.fallback_switches") = agg.fallback_switches;
   reg_.counter("chan.fallback_restores") = agg.fallback_restores;
   reg_.counter("chan.rpc_aborts") = agg.rpc_aborts;
+  reg_.counter("chan.tx_would_block") = agg.tx_would_block;
+  reg_.counter("chan.writable_signals") = agg.writable_signals;
+  reg_.counter("chan.naks_tx") = agg.naks_tx;
+  reg_.counter("chan.naks_rx") = agg.naks_rx;
+  reg_.counter("chan.pulls_deferred") = agg.pulls_deferred;
+  reg_.counter("chan.tx_mem_deferrals") = agg.tx_mem_deferrals;
+  reg_.counter("chan.ctrl_alloc_failures") = agg.ctrl_alloc_failures;
+  reg_.counter("chan.tx_shed") = agg.tx_shed;
   reg_.gauge("chan.established") = static_cast<double>(established);
   reg_.gauge("chan.inflight") = static_cast<double>(inflight);
   reg_.gauge("chan.queued") = static_cast<double>(queued);
@@ -158,6 +174,12 @@ void ContextMetrics::refresh() {
   reg_.counter("ctx.channels_closed") = cs.channels_closed;
   reg_.counter("ctx.channel_errors") = cs.channel_errors;
   reg_.counter("ctx.channels_recovered") = cs.channels_recovered;
+  reg_.counter("ctx.pressure_soft_events") = cs.pressure_soft_events;
+  reg_.counter("ctx.pressure_hard_events") = cs.pressure_hard_events;
+  reg_.gauge("ctx.queued_tx_bytes") =
+      static_cast<double>(ctx_.queued_tx_bytes());
+  reg_.gauge("ctx.mem_pressure") =
+      static_cast<double>(static_cast<int>(ctx_.mem_pressure()));
   reg_.gauge("ctx.worst_poll_gap_us") = to_micros(cs.worst_poll_gap);
   reg_.histogram("ctx.rpc_latency") = cs.rpc_latency;
   reg_.histogram("ctx.recovery_latency") = cs.recovery_latency;

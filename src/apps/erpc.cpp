@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/backoff.hpp"
+
 namespace xrdma::apps::erpc {
 
 namespace {
@@ -125,6 +127,20 @@ void Server::dispatch(core::Channel& ch, core::Msg&& msg) {
              envelope(method, static_cast<std::uint32_t>(Errc::not_found), {}));
     return;
   }
+  // Deadline-aware shedding: the request header carried the client's
+  // remaining budget; if it can no longer cover a typical service time the
+  // reply would arrive after the client gave up, so the work is wasted —
+  // answer overloaded immediately and let the client back off.
+  if (msg.has_deadline) {
+    const Nanos est = estimated_service_time();
+    if (est > 0 && msg.deadline_left < est) {
+      ++shed_;
+      ch.reply(msg.rpc_id,
+               envelope(method, static_cast<std::uint32_t>(Errc::overloaded),
+                        {}));
+      return;
+    }
+  }
   ++served_;
   Call call;
   call.request = std::move(payload);
@@ -136,9 +152,11 @@ void Server::dispatch(core::Channel& ch, core::Msg&& msg) {
   // (including large responses, which ride Read-replace-Write).
   const std::uint64_t trace_id = msg.traced ? msg.trace_id : 0;
   core::Context* ctx = &ctx_;
+  const Nanos t0 = ctx_.engine().now();
   // The handler may respond asynchronously; route through ids so a closed
   // channel degrades to a dropped reply instead of a dangling pointer.
-  call.respond = [ctx, chan_id, rpc_id, method, trace_id](Buffer rsp) {
+  call.respond = [this, ctx, chan_id, rpc_id, method, trace_id, t0](Buffer rsp) {
+    service_time_.record(ctx->engine().now() - t0);
     for (core::Channel* c : ctx->channels()) {
       if (c->id() == chan_id && c->usable()) {
         c->reply(rpc_id, envelope(method, 0, rsp), trace_id);
@@ -146,7 +164,9 @@ void Server::dispatch(core::Channel& ch, core::Msg&& msg) {
       }
     }
   };
-  call.respond_error = [ctx, chan_id, rpc_id, method, trace_id](Errc e) {
+  call.respond_error = [this, ctx, chan_id, rpc_id, method, trace_id,
+                        t0](Errc e) {
+    service_time_.record(ctx->engine().now() - t0);
     for (core::Channel* c : ctx->channels()) {
       if (c->id() == chan_id && c->usable()) {
         c->reply(rpc_id, envelope(method, static_cast<std::uint32_t>(e), {}),
@@ -158,12 +178,24 @@ void Server::dispatch(core::Channel& ch, core::Msg&& msg) {
   it->second(std::move(call));
 }
 
+Nanos Server::estimated_service_time() const {
+  // Need a few samples before trusting the estimate; until then admit
+  // everything (a cold server that sheds is worse than a slow one).
+  if (service_time_.count() < 8) return 0;
+  return service_time_.percentile(50);
+}
+
 // ---------------------------------------------------------------------------
 // Client.
 
 ClientStub::ClientStub(core::Context& ctx, net::NodeId server,
                        std::uint16_t port)
-    : ctx_(ctx), server_(server), port_(port) {}
+    : ctx_(ctx),
+      server_(server),
+      port_(port),
+      // Deterministic per-stub jitter stream: same topology, same run.
+      rng_(0x517cc1b727220a95ULL ^ (static_cast<std::uint64_t>(server) << 16) ^
+           port) {}
 
 void ClientStub::connect(std::function<void(Errc)> ready) {
   ctx_.connect(server_, port_,
@@ -176,27 +208,65 @@ void ClientStub::connect(std::function<void(Errc)> ready) {
 Errc ClientStub::call(MethodId method, Buffer request, Callback cb,
                       Nanos deadline) {
   if (!connected()) return Errc::unavailable;
+  auto s = std::make_shared<CallState>();
+  s->method = method;
+  s->request = std::move(request);
+  s->cb = std::move(cb);
+  s->abs_deadline = ctx_.engine().now() + deadline;
+  const Errc rc = attempt(s);
+  // The very first enqueue can bounce off the bounded tx queue; retrying
+  // behind backoff keeps the call alive (the caller sees Errc::ok and the
+  // outcome arrives through the callback, like any other async failure).
+  if (rc == Errc::would_block && schedule_retry(s)) return Errc::ok;
+  return rc;
+}
+
+Errc ClientStub::attempt(const std::shared_ptr<CallState>& s) {
+  const Nanos remaining = s->abs_deadline - ctx_.engine().now();
+  if (remaining <= 0) return Errc::timed_out;
   return channel_->call(
-      envelope(method, 0, request),
-      [cb = std::move(cb)](Result<core::Msg> r) {
+      envelope(s->method, 0, s->request),
+      [this, s](Result<core::Msg> r) {
         if (!r.ok()) {
-          cb(r.error());
+          s->cb(r.error());
           return;
         }
         MethodId method_out = 0;
         std::uint32_t status = 0;
         Buffer payload;
         if (!open_envelope(r.value().payload, method_out, status, payload)) {
-          cb(Errc::bad_message);
+          s->cb(Errc::bad_message);
           return;
         }
         if (status != 0) {
-          cb(static_cast<Errc>(status));
+          const Errc e = static_cast<Errc>(status);
+          // Server shed the request (deadline-aware overload control):
+          // back off and retry while the budget lasts.
+          if (e == Errc::overloaded && schedule_retry(s)) return;
+          s->cb(e);
           return;
         }
-        cb(std::move(payload));
+        s->cb(std::move(payload));
       },
-      deadline);
+      remaining);
+}
+
+bool ClientStub::schedule_retry(const std::shared_ptr<CallState>& s) {
+  ++s->attempt;
+  const Nanos delay = backoff_with_jitter(retry_backoff_, s->attempt, rng_);
+  if (ctx_.engine().now() + delay >= s->abs_deadline) return false;
+  ++retries_;
+  ctx_.engine().schedule_after(delay, [this, s] {
+    if (!connected()) {
+      s->cb(Errc::unavailable);
+      return;
+    }
+    const Errc rc = attempt(s);
+    if (rc == Errc::ok) return;
+    if (rc == Errc::would_block && schedule_retry(s)) return;
+    s->cb(rc);
+  });
+  return true;
 }
 
 }  // namespace xrdma::apps::erpc

@@ -15,9 +15,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
 #include "core/context.hpp"
 
 namespace xrdma::apps::erpc {
@@ -82,14 +85,25 @@ class Server {
   void register_method(MethodId id, Handler handler);
   std::uint64_t calls_served() const { return served_; }
   std::uint64_t unknown_methods() const { return unknown_; }
+  /// Requests dropped by deadline-aware shedding: the client's remaining
+  /// budget (propagated in the wire header) could not cover the estimated
+  /// service time, so serving would only have produced a late, wasted
+  /// reply. Shed requests answer Errc::overloaded immediately.
+  std::uint64_t calls_shed() const { return shed_; }
+  const Histogram& service_time() const { return service_time_; }
 
  private:
   void dispatch(core::Channel& ch, core::Msg&& msg);
+  /// Service-time estimate used for shedding: p50 of observed handler
+  /// times once enough samples exist, 0 (never shed) before that.
+  Nanos estimated_service_time() const;
 
   core::Context& ctx_;
   std::map<MethodId, Handler> methods_;
+  Histogram service_time_;  // dispatch -> respond, ns
   std::uint64_t served_ = 0;
   std::uint64_t unknown_ = 0;
+  std::uint64_t shed_ = 0;
 };
 
 /// Client-side stub: one logical connection, typed calls by method id.
@@ -103,16 +117,38 @@ class ClientStub {
   void connect(std::function<void(Errc)> ready);
   bool connected() const { return channel_ && channel_->usable(); }
 
+  /// Issues the call, retrying transparently while the deadline budget
+  /// lasts when the local channel pushes back (Errc::would_block from the
+  /// bounded tx queue) or the server sheds (Errc::overloaded). Retries use
+  /// capped exponential backoff with jitter; the callback sees the final
+  /// outcome only.
   Errc call(MethodId method, Buffer request, Callback cb,
             Nanos deadline = millis(100));
 
   core::Channel* channel() { return channel_; }
+  std::uint64_t retries() const { return retries_; }
+  void set_retry_backoff(Nanos base) { retry_backoff_ = base; }
 
  private:
+  struct CallState {
+    MethodId method = 0;
+    Buffer request;
+    Callback cb;
+    Nanos abs_deadline = 0;
+    std::uint32_t attempt = 0;
+  };
+
+  Errc attempt(const std::shared_ptr<CallState>& s);
+  /// Returns false when the next backoff step would overrun the deadline.
+  bool schedule_retry(const std::shared_ptr<CallState>& s);
+
   core::Context& ctx_;
   net::NodeId server_;
   std::uint16_t port_;
   core::Channel* channel_ = nullptr;
+  Rng rng_;
+  Nanos retry_backoff_ = micros(50);
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace xrdma::apps::erpc

@@ -47,6 +47,9 @@ struct Flow {
   std::uint32_t generation = 0;
   core::Channel* connector_ch = nullptr;  // kept alive by its Context
   std::vector<SentItem> sent;             // successfully enqueued, in order
+  // Rejected by backpressure (would_block): (tag, size). Oracle 10 demands
+  // none of these ever reaches the peer — a reject is a promise.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> rejected;
   std::uint64_t delivered = 0;
   std::uint64_t next_seq = 0;  // expected Msg::seq of the next delivery
   std::uint64_t delivery_digest = 0xcbf29ce484222325ULL;
@@ -104,6 +107,20 @@ core::Config Runner::make_config() const {
   cfg.max_outstanding_wrs = s_.params.max_outstanding_wrs;
   cfg.trace_sample_mask = s_.params.trace_sample_mask;
   cfg.frag_size = s_.params.frag_size;
+  // Overload-control knobs: bounded tx queues (byte cap scaled so mid-size
+  // rendezvous messages hit it too) and, when a memory budget is set,
+  // pools small enough that the pressure ladder engages under incast.
+  cfg.tx_queue_max_msgs = s_.params.tx_queue_cap;
+  cfg.tx_queue_max_bytes =
+      s_.params.tx_queue_cap > 0
+          ? static_cast<std::uint64_t>(s_.params.tx_queue_cap) * 16 * 1024
+          : 0;
+  if (s_.params.mem_budget_mb > 0) {
+    cfg.memcache_mr_bytes = 256 * 1024;
+    cfg.memcache_max_mrs = s_.params.mem_budget_mb * 4;
+    cfg.mem_soft_pct = 60;
+    cfg.mem_hard_pct = 90;
+  }
   // Fast failure detection and recovery so a 30 ms workload window sees
   // full kill -> resume -> retransmit cycles, and quiesce converges.
   cfg.keepalive_intv = millis(2);
@@ -207,9 +224,13 @@ void Runner::execute(const Op& op) {
       Buffer b = Buffer::make(op.size);
       fill_pattern(b, op.tag);
       if (op.kind == OpKind::send) {
-        if (st.ch->send_msg(std::move(b)) == Errc::ok) {
+        const Errc rc = st.ch->send_msg(std::move(b));
+        if (rc == Errc::ok) {
           fl.sent.push_back({op.tag, op.size, false});
           ++rep_.msgs_sent;
+        } else if (rc == Errc::would_block) {
+          fl.rejected.emplace_back(op.tag, op.size);
+          ++rep_.msgs_rejected;
         }
         return;
       }
@@ -238,6 +259,9 @@ void Runner::execute(const Op& op) {
         fl.sent.push_back({tag, size, true});
         ++rep_.rpcs_issued;
         ++rep_.msgs_sent;  // the request is a windowed data message too
+      } else if (rc == Errc::would_block) {
+        fl.rejected.emplace_back(tag, size);
+        ++rep_.msgs_rejected;
       }
       return;
     }
@@ -348,6 +372,20 @@ void Runner::on_delivery(core::Channel& ch, core::Msg&& m) {
                            static_cast<unsigned long long>(fl.delivered),
                            exp.rpc ? "rpc" : "send",
                            m.is_rpc_req ? "rpc" : "send"));
+  }
+  // Oracle 10: a message the bounded queue rejected must never surface at
+  // the receiver — would_block is a promise that nothing was enqueued.
+  // Tags are unique random patterns, so a content match identifies the
+  // message (empty payloads carry no pattern and are skipped).
+  if (m.payload.size() > 0) {
+    for (const auto& [rtag, rsize] : fl.rejected) {
+      if (rsize == m.payload.size() && check_pattern(m.payload, rtag)) {
+        log_.add(now(), strfmt("message both rejected and delivered on flow "
+                               "%u->%u slot %u: tag %llx (%u bytes)",
+                               fl.key.src, fl.key.dst, fl.key.slot,
+                               static_cast<unsigned long long>(rtag), rsize));
+      }
+    }
   }
   fold64(fl.delivery_digest, exp.tag);
   fold64(fl.delivery_digest, m.payload.size());
@@ -544,11 +582,13 @@ void Runner::finish_report() {
     fold64(d, fl.key.slot);
     fold64(d, fl.generation);
     fold64(d, fl.sent.size());
+    fold64(d, fl.rejected.size());
     fold64(d, fl.delivered);
     fold64(d, fl.delivery_digest);
     fold64(d, fl.closed_by_op ? 1 : 0);
   }
   fold64(d, rep_.msgs_sent);
+  fold64(d, rep_.msgs_rejected);
   fold64(d, rep_.msgs_delivered);
   fold64(d, rep_.rpcs_issued);
   fold64(d, rep_.rpcs_completed);

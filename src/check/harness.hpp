@@ -6,7 +6,7 @@
 // (mixed eager / rendezvous / RPC traffic straddling the 4 KB cutoff and the
 // fragment boundaries, channel open/close churn) plus a randomized fault
 // schedule (drops, delays, QP kills, CM refusals) — which run_schedule()
-// executes on the simulated testbed while checking six invariant oracles:
+// executes on the simulated testbed while checking ten invariant oracles:
 //
 //   1. exactly-once in-order delivery per channel (content-verified)
 //   2. seq-ack window conservation (SEQ/ACKED/WTA/RTA edge relations)
@@ -14,6 +14,10 @@
 //   4. the flow-control outstanding-WR cap is never exceeded
 //   5. no RNR condition, ever (the paper's RNR-freedom guarantee)
 //   6. trace-span completeness for sampled message ids
+//   7. bounded tx queues honour their caps; aggregate accounting balances
+//   8. memcache occupancy within budget; control-plane reserve never starves
+//   9. control-plane progress (keepalive liveness) under any backlog
+//  10. no message both rejected by backpressure and delivered
 //
 // A failing run prints its seed, dumps the schedule to a replay file
 // (re-runnable bit-for-bit with run_schedule(load_schedule(...))), and can
@@ -51,6 +55,7 @@ struct RunReport {
   std::vector<std::string> violation_samples;
   std::uint64_t msgs_sent = 0;
   std::uint64_t msgs_delivered = 0;
+  std::uint64_t msgs_rejected = 0;  // would_block from the bounded tx queue
   std::uint64_t rpcs_issued = 0;
   std::uint64_t rpcs_completed = 0;
   std::uint64_t rpcs_failed = 0;  // timeouts / closed-channel aborts: legal

@@ -115,6 +115,47 @@ void LiveOracle::observe_channel(core::Channel& ch, Nanos now) {
   }
   mark.acked = std::max(mark.acked, acked);
   mark.rta = std::max(mark.rta, rta);
+
+  // Oracle 7 (per channel): the bounded tx queue honours its caps. The one
+  // deliberate exception is the progress guarantee — an empty queue always
+  // admits one message, so a single entry may exceed the byte cap.
+  const core::Config& cfg = ch.context().config();
+  if (cfg.tx_queue_max_msgs > 0 &&
+      ch.queued_msgs() > std::max<std::size_t>(cfg.tx_queue_max_msgs, 1)) {
+    log_->add(now, strfmt("tx queue msg cap exceeded on channel %llu: "
+                          "queued=%zu cap=%u",
+                          static_cast<unsigned long long>(ch.id()),
+                          ch.queued_msgs(), cfg.tx_queue_max_msgs));
+  }
+  if (cfg.tx_queue_max_bytes > 0 && ch.queued_msgs() > 1 &&
+      ch.queued_bytes() > cfg.tx_queue_max_bytes) {
+    log_->add(now, strfmt("tx queue byte cap exceeded on channel %llu: "
+                          "queued=%llu cap=%llu",
+                          static_cast<unsigned long long>(ch.id()),
+                          static_cast<unsigned long long>(ch.queued_bytes()),
+                          static_cast<unsigned long long>(
+                              cfg.tx_queue_max_bytes)));
+  }
+
+  // Oracle 9: control-plane progress under backlog. An established RDMA
+  // channel must show proof of life within one keepalive interval plus two
+  // timeout windows — if the data plane is wedged (full queues, exhausted
+  // pools), the zero-byte keepalive writes still go through; if the peer is
+  // truly gone, keepalive declares peer_dead and the state leaves
+  // established. Either way this bound holds.
+  if (ch.state() == core::Channel::State::established && !ch.mocked() &&
+      cfg.keepalive_intv > 0) {
+    const Nanos last_sign =
+        std::max({ch.last_tx_time(), ch.last_rx_time(), ch.last_alive_time()});
+    const Nanos bound = cfg.keepalive_intv + 2 * cfg.keepalive_timeout;
+    if (now - last_sign > bound) {
+      log_->add(now, strfmt("control-plane stall on channel %llu: no sign of "
+                            "life for %lld ns (bound %lld)",
+                            static_cast<unsigned long long>(ch.id()),
+                            static_cast<long long>(now - last_sign),
+                            static_cast<long long>(bound)));
+    }
+  }
 }
 
 void LiveOracle::observe(Nanos now) {
@@ -130,6 +171,47 @@ void LiveOracle::observe(Nanos now) {
                             ctx->node(), ctx->outstanding_wrs(),
                             ctx->config().max_outstanding_wrs));
     }
+    // Oracle 7 (aggregate): the context-wide queued-byte gauge is exactly
+    // the sum over channels — a leak here would quietly disable the
+    // ctx_tx_max_bytes admission check.
+    std::uint64_t sum = 0;
+    for (core::Channel* ch : ctx->channels()) sum += ch->queued_bytes();
+    if (sum != ctx->queued_tx_bytes()) {
+      log_->add(now, strfmt("tx queue accounting leak on node %u: "
+                            "sum=%llu gauge=%llu",
+                            ctx->node(), static_cast<unsigned long long>(sum),
+                            static_cast<unsigned long long>(
+                                ctx->queued_tx_bytes())));
+    }
+
+    // Oracle 8: memcache occupancy within budget, and the control-plane
+    // reserve did its job — privileged allocations never fail while a
+    // reserve is configured.
+    for (core::MemCache* cache :
+         {&ctx->ctrl_cache(), &ctx->data_cache()}) {
+      const auto& ms = cache->stats();
+      if (ms.in_use_bytes > ms.occupied_bytes ||
+          ms.occupied_bytes > cache->budget_bytes()) {
+        log_->add(now, strfmt("memcache bounds on node %u: in_use=%llu "
+                              "occupied=%llu budget=%llu",
+                              ctx->node(),
+                              static_cast<unsigned long long>(ms.in_use_bytes),
+                              static_cast<unsigned long long>(
+                                  ms.occupied_bytes),
+                              static_cast<unsigned long long>(
+                                  cache->budget_bytes())));
+      }
+    }
+    if (ctx->config().memcache_ctrl_reserve > 0 &&
+        ctx->ctrl_cache().stats().privileged_alloc_fails > 0) {
+      log_->add(now, strfmt("control plane starved on node %u despite "
+                            "reserve: %llu privileged alloc failures",
+                            ctx->node(),
+                            static_cast<unsigned long long>(
+                                ctx->ctrl_cache().stats()
+                                    .privileged_alloc_fails)));
+    }
+
     for (core::Channel* ch : ctx->channels()) observe_channel(*ch, now);
   }
   if (!rnr_reported_) {

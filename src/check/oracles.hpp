@@ -1,12 +1,21 @@
 // X-Check invariant oracles.
 //
-// The harness checks six invariants against every run:
+// The harness checks ten invariants against every run:
 //   1. exactly-once in-order delivery per channel  (harness delivery records)
 //   2. seq-ack window conservation                 (LiveOracle, continuous)
 //   3. memcache / QP-cache balance at quiesce      (harness quiesce checks)
 //   4. flow-control cap never exceeded             (LiveOracle, continuous)
 //   5. no RNR condition, ever                      (LiveOracle, continuous)
 //   6. trace-span completeness for sampled ids     (SpanLedger at quiesce)
+//   7. bounded tx queues stay bounded and the per-context aggregate
+//      accounting balances                         (LiveOracle, continuous)
+//   8. memcache occupancy within budget; the control-plane reserve never
+//      lets a privileged allocation fail           (LiveOracle, continuous)
+//   9. control-plane progress: an established RDMA channel always shows
+//      recent proof of life (tx, rx, or keepalive) no matter how deep the
+//      data-plane backlog is                       (LiveOracle, continuous)
+//  10. no message both delivered and rejected by backpressure
+//                                                  (harness quiesce checks)
 //
 // Continuous oracles run from the engine's post-event hook, i.e. at every
 // quiescent point between simulation events — the strongest observation

@@ -68,10 +68,17 @@ Schedule generate_schedule(std::uint64_t seed, ScheduleParams params) {
   for (std::uint32_t i = 0; i < params.num_ops; ++i) {
     Op op;
     op.at = times[i];
-    op.src = static_cast<std::uint8_t>(rng.next_below(params.num_hosts));
-    op.dst = static_cast<std::uint8_t>(
-        (op.src + 1 + rng.next_below(params.num_hosts - 1)) %
-        params.num_hosts);
+    if (params.incast) {
+      // N→1 storm: every flow converges on node 0.
+      op.src = static_cast<std::uint8_t>(
+          1 + rng.next_below(params.num_hosts - 1));
+      op.dst = 0;
+    } else {
+      op.src = static_cast<std::uint8_t>(rng.next_below(params.num_hosts));
+      op.dst = static_cast<std::uint8_t>(
+          (op.src + 1 + rng.next_below(params.num_hosts - 1)) %
+          params.num_hosts);
+    }
     op.slot = static_cast<std::uint8_t>(rng.next_below(params.slots_per_pair));
     const SlotKey key{op.src, op.dst, op.slot};
 
@@ -157,7 +164,9 @@ std::string serialize_schedule(const Schedule& s) {
       << " numops " << p.num_ops << " numfaults " << p.num_faults
       << " horizon " << p.horizon << " corrupt " << (p.with_corruption ? 1 : 0)
       << " window " << p.window_depth << " wrs " << p.max_outstanding_wrs
-      << " mask " << p.trace_sample_mask << " frag " << p.frag_size << "\n";
+      << " mask " << p.trace_sample_mask << " frag " << p.frag_size
+      << " txcap " << p.tx_queue_cap << " incast " << (p.incast ? 1 : 0)
+      << " membudget " << p.mem_budget_mb << "\n";
   for (const Op& op : s.ops) {
     out << "op " << op.at << " " << to_string(op.kind) << " "
         << unsigned{op.src} << " " << unsigned{op.dst} << " "
@@ -201,6 +210,9 @@ bool deserialize_schedule(const std::string& text, Schedule& out) {
         else if (key == "wrs") p.max_outstanding_wrs = static_cast<std::uint32_t>(value);
         else if (key == "mask") p.trace_sample_mask = static_cast<std::uint32_t>(value);
         else if (key == "frag") p.frag_size = static_cast<std::uint32_t>(value);
+        else if (key == "txcap") p.tx_queue_cap = static_cast<std::uint32_t>(value);
+        else if (key == "incast") p.incast = value != 0;
+        else if (key == "membudget") p.mem_budget_mb = static_cast<std::uint32_t>(value);
         else return false;
       }
     } else if (word == "op") {

@@ -66,6 +66,18 @@ struct ScheduleParams {
   std::uint32_t max_outstanding_wrs = 8;
   std::uint32_t trace_sample_mask = 3;  // trace every 4th message
   std::uint32_t frag_size = 16 * 1024;  // small → more fragment boundaries
+  // Overload-control knobs. tx_queue_cap bounds every channel's pending-tx
+  // queue (messages; bytes capped at tx_queue_cap * 16 KB); 0 keeps the
+  // legacy unbounded queue, so pre-existing replay files run unchanged.
+  std::uint32_t tx_queue_cap = 0;
+  // Incast shape: every send/call targets node 0 from a random other node —
+  // the N→1 storm that drives the receiver into memory pressure.
+  bool incast = false;
+  // Shrink the memcaches to `mem_budget_mb` MB (256 KB MRs) and arm the
+  // pressure ladder (soft 60%, hard 90%) so rendezvous NAKs, deferred
+  // pulls and hard-pressure shedding are actually reachable. 0 = default
+  // production-sized pools.
+  std::uint32_t mem_budget_mb = 0;
 };
 
 struct Schedule {

@@ -1,0 +1,31 @@
+// Capped exponential backoff with jitter, shared by channel recovery and
+// the eRPC client retry path. Doubling is capped at `max_shift`; +/-25%
+// jitter desynchronizes retry storms after a correlated event (a fabric
+// fault, an overloaded server shedding a burst).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace xrdma {
+
+/// Delay before retry `attempt` (0-based count of prior tries): attempt 0
+/// fires immediately, attempt n waits base << min(n-1, max_shift) +/- 25%.
+inline Nanos backoff_with_jitter(Nanos base, std::uint32_t attempt, Rng& rng,
+                                 std::uint32_t max_shift = 6) {
+  if (attempt == 0) return 0;
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, max_shift);
+  Nanos delay = base << shift;
+  const Nanos quarter = delay / 4;
+  if (quarter > 0) {
+    delay += static_cast<Nanos>(
+                 rng.next_below(static_cast<std::uint64_t>(2 * quarter))) -
+             quarter;
+  }
+  return delay;
+}
+
+}  // namespace xrdma

@@ -28,6 +28,8 @@ std::string_view errc_name(Errc e) {
     case Errc::channel_closed: return "channel_closed";
     case Errc::payload_too_large: return "payload_too_large";
     case Errc::bad_message: return "bad_message";
+    case Errc::would_block: return "would_block";
+    case Errc::overloaded: return "overloaded";
   }
   return "unknown";
 }

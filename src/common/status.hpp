@@ -42,6 +42,8 @@ enum class Errc {
   channel_closed,
   payload_too_large,
   bad_message,             // framing / header validation failed
+  would_block,             // bounded tx queue is full; wait for on_writable
+  overloaded,              // server shed the request; back off and retry
 };
 
 std::string_view errc_name(Errc e);

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/backoff.hpp"
 #include "common/logging.hpp"
 #include "core/context.hpp"
-
 namespace xrdma::core {
 
 Channel::Channel(Context& ctx, verbs::Qp qp, net::NodeId peer,
@@ -20,6 +20,8 @@ Channel::Channel(Context& ctx, verbs::Qp qp, net::NodeId peer,
       ctx_.engine(), [this] { keepalive_fire(); });
   recovery_timer_ = std::make_unique<sim::DeadlineTimer>(
       ctx_.engine(), [this] { recovery_timer_fire(); });
+  mem_retry_timer_ = std::make_unique<sim::DeadlineTimer>(
+      ctx_.engine(), [this] { mem_retry_fire(); });
   recovery_rng_.reseed(ctx_.trace_epoch() ^ (id * 0x9e3779b97f4a7c15ULL));
 }
 
@@ -50,7 +52,9 @@ void Channel::post_bounce_buffers() {
       WireHeader::kBareSize + WireHeader::kTraceSize + cfg.small_msg_size;
   bounce_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    MemBlock block = ctx_.ctrl_cache_.alloc(size);
+    // Privileged: bounce buffers are what keeps the control plane (and
+    // everything else) receivable — they may dip into the reserve.
+    MemBlock block = ctx_.ctrl_cache_.alloc(size, /*privileged=*/true);
     if (!block.valid()) break;
     bounce_.push_back(block);
     qp_.post_recv({.wr_id = i, .sge = {block.addr, size, block.lkey}});
@@ -75,7 +79,8 @@ Errc Channel::call(Buffer request, RpcCallback cb, Nanos timeout) {
   pc.cb = std::move(cb);
   pc.t_start = ctx_.engine().now();
   pc.deadline = timeout > 0 ? ctx_.engine().now() + timeout : 0;
-  const Errc rc = enqueue(kFlagRpcReq, rpc_id, std::move(request), MemBlock{});
+  const Errc rc = enqueue(kFlagRpcReq, rpc_id, std::move(request), MemBlock{},
+                          0, pc.deadline);
   if (rc != Errc::ok) return rc;
   calls_[rpc_id] = std::move(pc);
   ++stats_.rpc_calls;
@@ -90,54 +95,127 @@ Errc Channel::reply(std::uint64_t rpc_id, Buffer response,
 
 Errc Channel::enqueue(std::uint16_t flags, std::uint64_t rpc_id,
                       Buffer payload, MemBlock zc_block,
-                      std::uint64_t trace_hint) {
+                      std::uint64_t trace_hint, Nanos deadline) {
   // Transparent recovery: sends during `recovering` park in pending_tx_
   // and drain once the channel resumes — the application never notices.
   if (state_ != State::established && state_ != State::recovering) {
     return Errc::channel_closed;
   }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  // Hard memory pressure: shed all new work. RPC responses still pass —
+  // completing accepted requests is how the backlog drains.
+  if ((flags & kFlagRpcRsp) == 0 &&
+      ctx_.mem_pressure() == MemPressure::hard) {
+    ++stats_.tx_shed;
+    ++stats_.tx_would_block;
+    tx_blocked_ = true;
+    return Errc::would_block;
+  }
+  // Bounded queue: past either cap the caller must wait for on_writable.
+  // An empty queue always admits one message (progress guarantee for
+  // payloads larger than the byte cap).
+  if (!pending_tx_.empty() && tx_cap_reached(len)) {
+    ++stats_.tx_would_block;
+    tx_blocked_ = true;
+    return Errc::would_block;
+  }
   PendingSend p;
   p.flags = flags;
   p.rpc_id = rpc_id;
   p.trace_hint = trace_hint;
+  p.deadline = deadline;
   p.payload = std::move(payload);
   p.zc_block = zc_block;
   if (swin_.full() || !pending_tx_.empty()) ++stats_.window_stalls;
   pending_tx_.push_back(std::move(p));
+  pending_tx_bytes_ += len;
+  ctx_.note_queued_tx(len);
   pump_tx();
   return Errc::ok;
+}
+
+bool Channel::tx_cap_reached(std::uint32_t len) const {
+  const Config& cfg = ctx_.config();
+  if (cfg.tx_queue_max_msgs > 0 &&
+      pending_tx_.size() >= cfg.tx_queue_max_msgs) {
+    return true;
+  }
+  if (cfg.tx_queue_max_bytes > 0 &&
+      pending_tx_bytes_ + len > cfg.tx_queue_max_bytes) {
+    return true;
+  }
+  if (cfg.ctx_tx_max_bytes > 0 &&
+      ctx_.queued_tx_bytes() + len > cfg.ctx_tx_max_bytes) {
+    return true;
+  }
+  return false;
+}
+
+bool Channel::tx_writable() const {
+  const Config& cfg = ctx_.config();
+  if (ctx_.mem_pressure() == MemPressure::hard) return false;
+  const auto below = [&](std::uint64_t cur, std::uint64_t cap) {
+    return cap == 0 || cur <= cap * cfg.tx_writable_pct / 100;
+  };
+  return below(pending_tx_.size(), cfg.tx_queue_max_msgs) &&
+         below(pending_tx_bytes_, cfg.tx_queue_max_bytes) &&
+         below(ctx_.queued_tx_bytes(), cfg.ctx_tx_max_bytes);
+}
+
+void Channel::maybe_fire_writable() {
+  if (!tx_blocked_) return;
+  if (state_ != State::established && state_ != State::recovering) return;
+  if (!tx_writable()) return;
+  tx_blocked_ = false;  // edge-triggered: re-arms on the next rejection
+  ++stats_.writable_signals;
+  if (on_writable_) on_writable_(*this);
+}
+
+void Channel::account_dequeued(std::uint32_t len) {
+  pending_tx_bytes_ -= len;
+  ctx_.note_queued_tx(-static_cast<std::int64_t>(len));
 }
 
 void Channel::pump_tx() {
   while (!pending_tx_.empty() && !swin_.full() &&
          state_ == State::established) {
-    PendingSend p = std::move(pending_tx_.front());
+    PendingSend& p = pending_tx_.front();
+    if (!emit_data(p)) {
+      // Memory exhausted: leave the message queued and retry on the timer
+      // (graceful degradation — the pool drains as acks retire entries).
+      ++stats_.tx_mem_deferrals;
+      arm_mem_retry();
+      break;
+    }
+    account_dequeued(static_cast<std::uint32_t>(p.payload.size()));
     pending_tx_.pop_front();
-    emit_data(std::move(p));
   }
+  maybe_fire_writable();
 }
 
-void Channel::emit_data(PendingSend&& p) {
+bool Channel::emit_data(PendingSend& p) {
   const Config& cfg = ctx_.config();
   const Nanos now = ctx_.engine().now();
   const std::uint32_t len = static_cast<std::uint32_t>(p.payload.size());
   const bool large =
       !tx_override_ && (len > cfg.small_msg_size || p.zc_block.valid());
-
-  TxEntry entry;
-  entry.t_queued = now;
-  const auto seq_opt = swin_.push(std::move(entry));
-  // pump_tx guarantees space.
-  const Seq seq = *seq_opt;
-  TxEntry* ent = swin_.find(seq);
+  // pump_tx guarantees window space, so the push below lands on this seq.
+  const Seq seq = swin_.next_seq();
 
   WireHeader hdr;
   hdr.flags = p.flags | (large ? kFlagLarge : 0);
   hdr.seq = seq;
-  hdr.ack = rwin_.ack_to_send();
-  rwin_.note_ack_sent();
   hdr.rpc_id = p.rpc_id;
   hdr.payload_len = len;
+  if ((p.flags & kFlagRpcReq) != 0 && p.deadline > 0) {
+    // Deadline propagation (§VI): stamp the *remaining* budget at emit
+    // time — client-side queueing consumed its share — relative, so it
+    // survives unsynchronized host clocks. 0 means no deadline, so an
+    // already-expired budget is clamped to 1 µs.
+    const Nanos left = p.deadline > now ? p.deadline - now : 0;
+    hdr.budget_us = static_cast<std::uint32_t>(std::max<Nanos>(
+        1, std::min<Nanos>(left / kNanosPerMicro, 0xffffffffLL)));
+  }
 
   // Tracing: req-rsp mode traces everything; bare-data mode samples by
   // trace_sample_mask (0 = off). A message carrying a parent trace id (an
@@ -154,7 +232,42 @@ void Channel::emit_data(PendingSend&& p) {
                        ? p.trace_hint
                        : ctx_.trace_epoch() ^ (id_ << 24) ^ seq;
   }
-  ent->flags = hdr.flags;
+
+  // Allocate everything up front: a failed allocation must leave the
+  // message queued and the window/ack state untouched so the mem-retry
+  // timer can try again (the old path failed the whole channel here).
+  MemBlock payload_block;
+  MemBlock wire_block;
+  std::uint32_t wire_len = 0;
+  if (!tx_override_) {
+    if (large) {
+      payload_block = p.zc_block;
+      if (!payload_block.valid()) {
+        payload_block = ctx_.data_cache_.alloc(len);
+        if (!payload_block.valid()) return false;
+      }
+      hdr.rv_addr = payload_block.addr;
+      hdr.rv_rkey = payload_block.rkey;
+    }
+    wire_len = hdr.wire_size() + (large ? 0 : len);
+    wire_block = ctx_.ctrl_cache_.alloc(wire_len);
+    if (!wire_block.valid()) {
+      if (payload_block.valid() && !p.zc_block.valid()) {
+        ctx_.data_cache_.free(payload_block);
+      }
+      return false;
+    }
+  }
+
+  // Point of no return: consume the window slot and the pending ack.
+  TxEntry entry;
+  entry.t_queued = now;
+  entry.flags = hdr.flags;
+  swin_.push(std::move(entry));
+  TxEntry* ent = swin_.find(seq);
+
+  hdr.ack = rwin_.ack_to_send();
+  rwin_.note_ack_sent();
 
   ++stats_.msgs_tx;
   stats_.bytes_tx += len;
@@ -199,57 +312,38 @@ void Channel::emit_data(PendingSend&& p) {
     }
     ++stats_.mock_tx;
     tx_override_(std::move(wire));
-    return;
+    return true;
   }
 
   if (!large) {
-    MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size() + len);
-    if (!block.valid()) {
-      fail(Errc::resource_exhausted);
-      return;
-    }
-    std::uint8_t* dst = ctx_.ctrl_cache_.data(block);
+    std::uint8_t* dst = ctx_.ctrl_cache_.data(wire_block);
     hdr.encode(dst);
     if (len > 0 && p.payload.data()) {
       std::memcpy(dst + hdr.wire_size(), p.payload.data(), len);
     }
     ent->hdr = hdr;
-    ent->wire_block = block;
-    ent->wire_len = hdr.wire_size() + len;
-    post_wire(hdr, block, ent->wire_len);
-    return;
+    ent->wire_block = wire_block;
+    ent->wire_len = wire_len;
+    post_wire(hdr, wire_block, wire_len);
+    return true;
   }
 
   // Rendezvous: park the payload in registered memory and send only the
   // descriptor; the receiver pulls with RDMA Read (§IV-C).
   ++stats_.large_msgs_tx;
-  MemBlock payload_block = p.zc_block;
-  if (!payload_block.valid()) {
-    payload_block = ctx_.data_cache_.alloc(len);
-    if (!payload_block.valid()) {
-      fail(Errc::resource_exhausted);
-      return;
-    }
+  if (!p.zc_block.valid()) {
     if (std::uint8_t* dst = ctx_.data_cache_.data(payload_block);
         dst && p.payload.data()) {
       std::memcpy(dst, p.payload.data(), len);
     }
   }
-  hdr.rv_addr = payload_block.addr;
-  hdr.rv_rkey = payload_block.rkey;
-
-  MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size());
-  if (!block.valid()) {
-    ctx_.data_cache_.free(payload_block);
-    fail(Errc::resource_exhausted);
-    return;
-  }
-  hdr.encode(ctx_.ctrl_cache_.data(block));
+  hdr.encode(ctx_.ctrl_cache_.data(wire_block));
   ent->hdr = hdr;
-  ent->wire_block = block;
+  ent->wire_block = wire_block;
   ent->payload_block = payload_block;
-  ent->wire_len = hdr.wire_size();
-  post_wire(hdr, block, ent->wire_len);
+  ent->wire_len = wire_len;
+  post_wire(hdr, wire_block, wire_len);
+  return true;
 }
 
 void Channel::post_wire(const WireHeader& hdr, MemBlock block,
@@ -291,10 +385,13 @@ void Channel::post_wire(const WireHeader& hdr, MemBlock block,
   });
 }
 
-void Channel::post_control(std::uint16_t flags) {
+void Channel::post_control(std::uint16_t flags, std::uint64_t aux_id,
+                           std::uint64_t aux) {
   if (state_ == State::closed || state_ == State::error) return;
   WireHeader hdr;
   hdr.flags = flags;
+  hdr.rpc_id = aux_id;
+  hdr.rv_addr = aux;
   hdr.ack = rwin_.ack_to_send();
   rwin_.note_ack_sent();
 
@@ -327,8 +424,19 @@ void Channel::post_control(std::uint16_t flags) {
     return;
   }
 
-  MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size());
-  if (!block.valid()) return;
+  // Privileged: control messages ride the reserved quota so liveness never
+  // depends on the data backlog (§VI graceful degradation).
+  MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size(), /*privileged=*/true);
+  if (!block.valid()) {
+    // Even the reserve is gone. Clear the inflight marks (no WC will ever
+    // come back for this message — the old code silently leaked them, so a
+    // dropped FIN hung close() forever) and surface the FIN failure.
+    ++stats_.ctrl_alloc_failures;
+    if (flags & kFlagAckOnly) ack_inflight_ = false;
+    if (flags & kFlagNop) nop_inflight_ = false;
+    if (flags & kFlagFin) fail(Errc::resource_exhausted);
+    return;
+  }
   hdr.encode(ctx_.ctrl_cache_.data(block));
 
   verbs::SendWr wr;
@@ -362,11 +470,17 @@ void Channel::reclaim_windows() {
     if (p.zc_block.valid()) ctx_.data_cache_.free(p.zc_block);
   }
   pending_tx_.clear();
+  ctx_.note_queued_tx(-static_cast<std::int64_t>(pending_tx_bytes_));
+  pending_tx_bytes_ = 0;
+  tx_blocked_ = false;
+  retransmit_pending_ = false;
+  mem_retry_timer_->cancel();
   swin_.process_ack(swin_.next_seq(),
                     [this](Seq, TxEntry& e) { free_tx_entry(e); });
   rwin_.for_each_pending([this](Seq, RxState& r) {
     if (r.payload_block.valid()) ctx_.data_cache_.free(r.payload_block);
     r.payload_block = MemBlock{};
+    r.pull_deferred = false;
   });
   ctx_.purge_channel_wrs(id_);
 }
@@ -452,6 +566,14 @@ void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
     ++stats_.nops_rx;
     return;
   }
+  if (hdr.has(kFlagNak)) {
+    // Receiver parked the rendezvous pull for hdr.rpc_id (the seq) under
+    // memory pressure; it retries on its own (our descriptor stays valid —
+    // the payload block is only freed on ack). Nothing to re-send: the NAK
+    // exists so the stall reads as flow control, not silence.
+    ++stats_.naks_rx;
+    return;
+  }
   if (hdr.has(kFlagFin)) {
     state_ = State::closed;
     abort_calls(Errc::channel_closed);
@@ -479,9 +601,11 @@ void Channel::handle_data(const WireHeader& hdr, const std::uint8_t* bytes,
       // fresh ack either way so it can retire the entry.
       ++stats_.dup_msgs_rx;
       if (RxState* pending = rwin_.find(hdr.seq);
-          pending && pending->reads_left > 0 && !hdr.has(kFlagLarge) &&
+          pending && (pending->reads_left > 0 || pending->pull_deferred) &&
+          !hdr.has(kFlagLarge) &&
           hdr.payload_len == pending->hdr.payload_len) {
         pending->reads_left = 0;
+        pending->pull_deferred = false;
         if (pending->payload_block.valid()) {
           ctx_.data_cache_.free(pending->payload_block);
           pending->payload_block = MemBlock{};
@@ -518,22 +642,80 @@ void Channel::handle_data(const WireHeader& hdr, const std::uint8_t* bytes,
     rwin_.complete(hdr.seq, [this](Seq s, RxState& r) { deliver(s, r); });
     return;
   }
+  ++stats_.large_msgs_rx;
   start_rendezvous_pull(hdr.seq, *rx);
 }
 
 void Channel::start_rendezvous_pull(Seq seq, RxState& rx) {
-  ++stats_.large_msgs_rx;
   const std::uint32_t len = rx.hdr.payload_len;
   if (len == 0) {
     rwin_.complete(seq, [this](Seq s, RxState& r) { deliver(s, r); });
     return;
   }
-  rx.payload_block = ctx_.data_cache_.alloc(len);
-  if (!rx.payload_block.valid()) {
-    fail(Errc::resource_exhausted);
+  // Receiver-side degradation (§VI): under soft+ memory pressure, or when
+  // the data pool is simply exhausted, park the pull and NAK the
+  // descriptor instead of failing the channel (the old behavior). The
+  // sender's payload stays put — its block is only freed on ack — so the
+  // pull resumes losslessly once memory frees up.
+  if (ctx_.mem_pressure() != MemPressure::normal) {
+    defer_rendezvous_pull(seq, rx);
     return;
   }
+  rx.payload_block = ctx_.data_cache_.alloc(len);
+  if (!rx.payload_block.valid()) {
+    defer_rendezvous_pull(seq, rx);
+    return;
+  }
+  rx.pull_deferred = false;
   issue_pull_frags(seq, rx);
+}
+
+void Channel::defer_rendezvous_pull(Seq seq, RxState& rx) {
+  if (!rx.pull_deferred) {
+    rx.pull_deferred = true;
+    ++stats_.pulls_deferred;
+    ++stats_.naks_tx;
+    // Windowless NAK carrying the parked seq and a retry-after hint (ns),
+    // so the sender reads the stall as flow control, not a dead peer.
+    post_control(kFlagNak, seq,
+                 static_cast<std::uint64_t>(ctx_.config().mem_retry_interval));
+  }
+  arm_mem_retry();
+}
+
+void Channel::retry_deferred_pulls() {
+  if (tx_override_) return;  // no QP to read through; replays arrive inline
+  rwin_.for_each_pending([this](Seq s, RxState& r) {
+    if (!r.pull_deferred) return;
+    r.pull_deferred = false;
+    start_rendezvous_pull(s, r);  // may re-defer (and re-arm the timer)
+  });
+}
+
+void Channel::arm_mem_retry() {
+  if (!mem_retry_timer_->armed()) {
+    mem_retry_timer_->arm_after(ctx_.config().mem_retry_interval);
+  }
+}
+
+void Channel::mem_retry_fire() {
+  if (state_ == State::closed || state_ == State::error) return;
+  // Deferred pulls first: completing them frees sender-side entries (their
+  // acks retire payload blocks), which is what drains the pressure.
+  retry_deferred_pulls();
+  if (retransmit_pending_ && state_ == State::established) {
+    retransmit_pending_ = false;
+    retransmit_unacked();  // receiver dedups; re-defers itself on failure
+  }
+  pump_tx();
+  // Anything still parked keeps the cadence.
+  bool parked = retransmit_pending_;
+  rwin_.for_each_pending(
+      [&parked](Seq, RxState& r) { parked |= r.pull_deferred; });
+  if (state_ == State::established && !pending_tx_.empty() && !swin_.full()) {
+    parked = true;  // pump stopped on memory, not the window
+  }
+  if (parked) arm_mem_retry();
 }
 
 void Channel::issue_pull_frags(Seq seq, RxState& rx) {
@@ -605,6 +787,15 @@ void Channel::deliver(Seq seq, RxState& rx) {
   msg.t_send = rx.hdr.t_send;
   msg.t_deliver = ctx_.local_time();
   msg.trace_id = rx.hdr.trace_id;
+  if (rx.hdr.budget_us > 0) {
+    // Rebase the relative budget onto our clock: whatever the pull/queue
+    // time consumed since arrival comes straight off the remaining budget.
+    msg.has_deadline = true;
+    const Nanos budget =
+        static_cast<Nanos>(rx.hdr.budget_us) * kNanosPerMicro;
+    const Nanos spent = ctx_.engine().now() - rx.t_arrive;
+    msg.deadline_left = budget > spent ? budget - spent : 0;
+  }
 
   if (msg.traced && ctx_.span_sink()) {
     SpanDeliverEvent ev;
@@ -845,21 +1036,11 @@ void Channel::schedule_recovery_attempt() {
     escalate_or_fail();
     return;
   }
-  Nanos delay = 0;
-  if (recovery_attempt_ > 0) {
-    // Capped exponential backoff with +/-25% jitter so a fabric event does
-    // not produce a synchronized reconnect storm.
-    const std::uint32_t shift =
-        std::min<std::uint32_t>(recovery_attempt_ - 1, 6);
-    delay = cfg.recovery_backoff << shift;
-    const Nanos quarter = delay / 4;
-    if (quarter > 0) {
-      delay += static_cast<Nanos>(recovery_rng_.next_below(
-                   static_cast<std::uint64_t>(2 * quarter))) -
-               quarter;
-    }
-  }
-  recovery_timer_->arm_after(delay);
+  // Capped exponential backoff with +/-25% jitter so a fabric event does
+  // not produce a synchronized reconnect storm.
+  recovery_timer_->arm_after(
+      backoff_with_jitter(cfg.recovery_backoff, recovery_attempt_,
+                          recovery_rng_));
 }
 
 void Channel::recovery_timer_fire() {
@@ -1015,6 +1196,15 @@ void Channel::retransmit_unacked() {
       [this](Seq s, TxEntry& e) { retransmit_entry(s, e); });
 }
 
+void Channel::defer_retransmit() {
+  // Rebuild-for-RDMA hit pool exhaustion: park the whole replay and let
+  // the mem-retry timer run retransmit_unacked() again — entries that did
+  // go out are deduped by the receiver window, so the replay is idempotent.
+  ++stats_.tx_mem_deferrals;
+  retransmit_pending_ = true;
+  arm_mem_retry();
+}
+
 void Channel::retransmit_entry(Seq seq, TxEntry& e) {
   ++stats_.recovery_retransmits;
   last_tx_ = ctx_.engine().now();
@@ -1069,7 +1259,7 @@ void Channel::retransmit_entry(Seq seq, TxEntry& e) {
     hdr.flags |= kFlagLarge;
     MemBlock payload_block = ctx_.data_cache_.alloc(len);
     if (!payload_block.valid()) {
-      fail(Errc::resource_exhausted);
+      defer_retransmit();
       return;
     }
     if (std::uint8_t* dst = ctx_.data_cache_.data(payload_block);
@@ -1085,7 +1275,7 @@ void Channel::retransmit_entry(Seq seq, TxEntry& e) {
     hdr.rv_rkey = e.payload_block.rkey;
     MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size());
     if (!block.valid()) {
-      fail(Errc::resource_exhausted);
+      defer_retransmit();
       return;
     }
     hdr.encode(ctx_.ctrl_cache_.data(block));
@@ -1097,7 +1287,7 @@ void Channel::retransmit_entry(Seq seq, TxEntry& e) {
   }
   MemBlock block = ctx_.ctrl_cache_.alloc(hdr.wire_size() + len);
   if (!block.valid()) {
-    fail(Errc::resource_exhausted);
+    defer_retransmit();
     return;
   }
   std::uint8_t* dst = ctx_.ctrl_cache_.data(block);

@@ -58,6 +58,7 @@ class Channel {
   using MsgHandler = std::function<void(Channel&, Msg&&)>;
   using ErrorHandler = std::function<void(Channel&, Errc)>;
   using RpcCallback = std::function<void(Result<Msg>)>;
+  using WritableHandler = std::function<void(Channel&)>;
 
   ~Channel();
   Channel(const Channel&) = delete;
@@ -82,6 +83,10 @@ class Channel {
 
   void set_on_msg(MsgHandler h) { on_msg_ = std::move(h); }
   void set_on_error(ErrorHandler h) { on_error_ = std::move(h); }
+  /// Backpressure relief: after a send/call returned Errc::would_block,
+  /// fires once (edge-triggered) when the tx queue drains below the
+  /// Config::tx_writable_pct watermark and memory pressure has cleared.
+  void set_on_writable(WritableHandler h) { on_writable_ = std::move(h); }
 
   /// Graceful close: FIN to the peer, QP recycled into the QP cache.
   void close();
@@ -102,6 +107,8 @@ class Channel {
   Nanos last_rx_time() const { return last_rx_; }
   std::size_t inflight_msgs() const { return swin_.inflight(); }
   std::size_t queued_msgs() const { return pending_tx_.size(); }
+  std::uint64_t queued_bytes() const { return pending_tx_bytes_; }
+  Nanos last_alive_time() const { return last_alive_; }
   Seq tx_seq() const { return swin_.next_seq(); }
   Seq rx_rta() const { return rwin_.rta(); }
   // X-Check window-conservation oracle: both window edges plus the
@@ -138,6 +145,7 @@ class Channel {
     std::uint16_t flags = 0;
     std::uint64_t rpc_id = 0;
     std::uint64_t trace_hint = 0;  // propagate this trace id (0 = mint one)
+    Nanos deadline = 0;            // RPC deadline (absolute local time)
     Buffer payload;
     MemBlock zc_block;  // zero-copy payload (valid() when used)
   };
@@ -158,6 +166,7 @@ class Channel {
     MemBlock payload_block;   // rendezvous destination
     std::uint32_t reads_left = 0;
     Nanos t_arrive = 0;
+    bool pull_deferred = false;  // rendezvous pull parked (memory pressure)
   };
 
   /// `send_depth` is the negotiated in-flight depth (min of both sides'
@@ -169,11 +178,28 @@ class Channel {
 
   // TX path.
   Errc enqueue(std::uint16_t flags, std::uint64_t rpc_id, Buffer payload,
-               MemBlock zc_block, std::uint64_t trace_hint = 0);
+               MemBlock zc_block, std::uint64_t trace_hint = 0,
+               Nanos deadline = 0);
   void pump_tx();
-  void emit_data(PendingSend&& p);
+  /// Emits the front pending send. Returns false on memory exhaustion,
+  /// leaving `p` untouched (still queued) for the mem-retry timer.
+  bool emit_data(PendingSend& p);
   void post_wire(const WireHeader& hdr, MemBlock block, std::uint32_t len);
-  void post_control(std::uint16_t flags);
+  /// Windowless control message. `aux_id`/`aux` ride in rpc_id/rv_addr
+  /// (kFlagNak: the NAK'd seq and the retry-after hint in ns).
+  void post_control(std::uint16_t flags, std::uint64_t aux_id = 0,
+                    std::uint64_t aux = 0);
+
+  // Overload control (backpressure + memory-pressure degradation).
+  bool tx_cap_reached(std::uint32_t len) const;
+  bool tx_writable() const;
+  void maybe_fire_writable();
+  void account_dequeued(std::uint32_t len);
+  void defer_rendezvous_pull(Seq seq, RxState& rx);
+  void retry_deferred_pulls();
+  void defer_retransmit();
+  void arm_mem_retry();
+  void mem_retry_fire();
 
   // RX path.
   void on_recv_wc(const verbs::Wc& wc);
@@ -230,6 +256,10 @@ class Channel {
   SendWindow<TxEntry> swin_;
   RecvWindow<RxState> rwin_;
   std::deque<PendingSend> pending_tx_;
+  std::uint64_t pending_tx_bytes_ = 0;
+  bool tx_blocked_ = false;          // a send was rejected; edge for writable
+  bool retransmit_pending_ = false;  // retransmit parked on memory pressure
+  std::unique_ptr<sim::DeadlineTimer> mem_retry_timer_;
   bool ack_inflight_ = false;
   bool nop_inflight_ = false;
   bool fin_sent_ = false;
@@ -270,6 +300,7 @@ class Channel {
 
   MsgHandler on_msg_;
   ErrorHandler on_error_;
+  WritableHandler on_writable_;
   ChannelStats stats_;
 };
 

@@ -54,6 +54,46 @@ const std::map<std::string, OnlineParam>& online_params() {
       {"fallback_auto",
        {[](const Config& c) { return std::int64_t{c.fallback_auto}; },
         [](Config& c, std::int64_t v) { c.fallback_auto = v != 0; }}},
+      {"tx_queue_max_msgs",
+       {[](const Config& c) { return std::int64_t{c.tx_queue_max_msgs}; },
+        [](Config& c, std::int64_t v) {
+          c.tx_queue_max_msgs = static_cast<std::uint32_t>(v);
+        }}},
+      {"tx_queue_max_bytes",
+       {[](const Config& c) {
+          return static_cast<std::int64_t>(c.tx_queue_max_bytes);
+        },
+        [](Config& c, std::int64_t v) {
+          c.tx_queue_max_bytes = static_cast<std::uint64_t>(v);
+        }}},
+      {"ctx_tx_max_bytes",
+       {[](const Config& c) {
+          return static_cast<std::int64_t>(c.ctx_tx_max_bytes);
+        },
+        [](Config& c, std::int64_t v) {
+          c.ctx_tx_max_bytes = static_cast<std::uint64_t>(v);
+        }}},
+      {"tx_writable_pct",
+       {[](const Config& c) { return std::int64_t{c.tx_writable_pct}; },
+        [](Config& c, std::int64_t v) {
+          c.tx_writable_pct = static_cast<std::uint32_t>(v);
+        }}},
+      {"mem_soft_pct",
+       {[](const Config& c) { return std::int64_t{c.mem_soft_pct}; },
+        [](Config& c, std::int64_t v) {
+          c.mem_soft_pct = static_cast<std::uint32_t>(v);
+        }}},
+      {"mem_hard_pct",
+       {[](const Config& c) { return std::int64_t{c.mem_hard_pct}; },
+        [](Config& c, std::int64_t v) {
+          c.mem_hard_pct = static_cast<std::uint32_t>(v);
+        }}},
+      {"mem_retry_interval_us",
+       {[](const Config& c) { return c.mem_retry_interval / kNanosPerMicro; },
+        [](Config& c, std::int64_t v) { c.mem_retry_interval = micros(v); }}},
+      {"memcache_idle_shrink_ms",
+       {[](const Config& c) { return c.memcache_idle_shrink / kNanosPerMilli; },
+        [](Config& c, std::int64_t v) { c.memcache_idle_shrink = millis(v); }}},
   };
   return params;
 }
@@ -76,6 +116,14 @@ offline_params() {
            [](const Config& c) { return std::int64_t{c.small_msg_size}; }},
           {"window_depth",
            [](const Config& c) { return std::int64_t{c.window_depth}; }},
+          {"memcache_max_mrs",
+           [](const Config& c) {
+             return static_cast<std::int64_t>(c.memcache_max_mrs);
+           }},
+          {"memcache_ctrl_reserve",
+           [](const Config& c) {
+             return static_cast<std::int64_t>(c.memcache_ctrl_reserve);
+           }},
       };
   return params;
 }

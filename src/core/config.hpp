@@ -56,11 +56,35 @@ struct Config {
   std::uint32_t frag_size = 64 * 1024;      // rendezvous read fragment
   std::uint32_t max_outstanding_wrs = 16;   // queuing threshold N (per ctx)
 
+  // ---- Overload control (§VI graceful degradation) ----
+  // Bounded tx queue: past either cap, send/call return Errc::would_block
+  // until the queue drains below tx_writable_pct and on_writable fires.
+  // 0 = unbounded (legacy behavior).
+  std::uint32_t tx_queue_max_msgs = 0;      // per-channel pending_tx_ cap
+  std::uint64_t tx_queue_max_bytes = 0;     // per-channel payload-bytes cap
+  std::uint64_t ctx_tx_max_bytes = 0;       // aggregate cap across channels
+  std::uint32_t tx_writable_pct = 50;       // low watermark (% of the cap)
+  // Memory-pressure ladder over the data cache (% of its budget in use).
+  // 0 disables a rung. soft: shed new rendezvous pulls + shrink; hard:
+  // shed all new data work, control plane only.
+  std::uint32_t mem_soft_pct = 0;
+  std::uint32_t mem_hard_pct = 0;
+  // Retry cadence for memory-deferred work; also the retry-after hint a
+  // receiver NAK carries back to the sender.
+  Nanos mem_retry_interval = micros(100);
+
   // ---- Resource management ----
   std::uint64_t memcache_mr_bytes = 4u << 20;
   bool memcache_isolation = true;
   bool memcache_real_memory = true;
   Nanos memcache_shrink_period = millis(50);  // reclaim idle MRs (0 = never)
+  Nanos memcache_idle_shrink = millis(20);    // idle-triggered shrink (0 = off)
+  std::size_t memcache_max_mrs = 4096;        // data-cache budget (offline)
+  // Ctrl-cache budget, deliberately separate from the data budget: shrinking
+  // the data pool to provoke the pressure ladder must not also strangle the
+  // bounce-buffer / ACK pool the control plane lives in.
+  std::size_t memcache_ctrl_max_mrs = 4096;
+  std::uint64_t memcache_ctrl_reserve = 64 * 1024;  // control-plane quota
   std::size_t qp_cache_capacity = 256;
 
   // ---- Thread model ----

@@ -64,9 +64,12 @@ Context::Context(rnic::Rnic& nic, verbs::cm::CmService& cm, Config config)
       send_cq_(pd_.create_cq(cfg_.cq_size)),
       recv_cq_(pd_.create_cq(cfg_.cq_size)),
       ctrl_cache_(nic, MemCacheConfig{.mr_bytes = cfg_.memcache_mr_bytes,
+                                      .max_mrs = cfg_.memcache_ctrl_max_mrs,
                                       .isolation = cfg_.memcache_isolation,
-                                      .real_memory = true}),
+                                      .real_memory = true,
+                                      .reserve_bytes = cfg_.memcache_ctrl_reserve}),
       data_cache_(nic, MemCacheConfig{.mr_bytes = cfg_.memcache_mr_bytes,
+                                      .max_mrs = cfg_.memcache_max_mrs,
                                       .isolation = cfg_.memcache_isolation,
                                       .real_memory = cfg_.memcache_real_memory}),
       qp_cache_(nic, cfg_.qp_cache_capacity),
@@ -83,7 +86,7 @@ Context::Context(rnic::Rnic& nic, verbs::cm::CmService& cm, Config config)
         WireHeader::kBareSize + WireHeader::kTraceSize + cfg_.small_msg_size;
     srq_bounce_.reserve(cfg_.srq_size);
     for (std::uint32_t i = 0; i < cfg_.srq_size; ++i) {
-      MemBlock block = ctrl_cache_.alloc(size);
+      MemBlock block = ctrl_cache_.alloc(size, /*privileged=*/true);
       if (!block.valid()) break;
       srq_bounce_.push_back(block);
       nic_.post_srq_recv(srq_,
@@ -94,6 +97,11 @@ Context::Context(rnic::Rnic& nic, verbs::cm::CmService& cm, Config config)
     auto it = by_qp_.find(qpn);
     if (it != by_qp_.end()) it->second->on_qp_error(reason);
   });
+  if (cfg_.memcache_idle_shrink > 0) {
+    ctrl_cache_.enable_idle_shrink(cfg_.memcache_idle_shrink);
+    data_cache_.enable_idle_shrink(cfg_.memcache_idle_shrink);
+  }
+  applied_idle_shrink_ = cfg_.memcache_idle_shrink;
   scan_timer_.start();
 }
 
@@ -369,13 +377,27 @@ void Context::wr_completed() {
     deferred_wrs_.pop_front();
     Channel* ch = channel_by_id(d.channel_id);
     if (!ch || !ch->usable()) {
-      wrs_.erase(d.wr.wr_id);
+      if (auto it = wrs_.find(d.wr.wr_id); it != wrs_.end()) {
+        if (it->second.block.valid()) ctrl_cache_.free(it->second.block);
+        wrs_.erase(it);
+      }
       continue;
     }
     auto it = wrs_.find(d.wr.wr_id);
     if (it != wrs_.end()) it->second.counted = true;
     ++outstanding_wrs_;
-    if (ch->qp_.post_send(d.wr) != Errc::ok) {
+    const Errc rc = ch->qp_.post_send(d.wr);
+    if (rc == Errc::resource_exhausted) {
+      // That QP's send queue is still full (incast: the flow-control credit
+      // freed on some *other* QP). Put the WR back and stop — the next
+      // completion retries. Dropping it would wedge a rendezvous pull, and
+      // with it the whole receive window, forever.
+      --outstanding_wrs_;
+      if (it != wrs_.end()) it->second.counted = false;
+      deferred_wrs_.push_front(std::move(d));
+      break;
+    }
+    if (rc != Errc::ok) {
       --outstanding_wrs_;
       wrs_.erase(d.wr.wr_id);
     }
@@ -539,10 +561,25 @@ void Context::park() {
 // ---------------------------------------------------------------------------
 // Housekeeping.
 
+MemPressure Context::mem_pressure() const {
+  const std::uint64_t budget = data_cache_.budget_bytes();
+  if (budget == 0) return MemPressure::normal;
+  const std::uint64_t pct = data_cache_.stats().in_use_bytes * 100 / budget;
+  if (cfg_.mem_hard_pct > 0 && pct >= cfg_.mem_hard_pct)
+    return MemPressure::hard;
+  if (cfg_.mem_soft_pct > 0 && pct >= cfg_.mem_soft_pct)
+    return MemPressure::soft;
+  return MemPressure::normal;
+}
+
 void Context::scan_tick() {
   for (auto& ch : channels_) {
     ch->deadlock_tick();
     ch->rpc_timeout_scan();
+    // Channels that refused sends while the pool drained may be writable
+    // again without a dequeue on their own queue (ctx-wide cap, pressure
+    // cleared elsewhere): sweep the edge here.
+    ch->maybe_fire_writable();
   }
   // Periodically reclaim idle memory-cache MRs (§IV-E: "if the resource
   // utilization becomes lower, it will shrink its capacity").
@@ -551,6 +588,28 @@ void Context::scan_tick() {
     last_shrink_ = engine().now();
     ctrl_cache_.shrink();
     data_cache_.shrink();
+  }
+  // Pressure-ladder transitions: count entries, shrink eagerly on the way
+  // up (soft's first remedy is giving memory back).
+  const MemPressure p = mem_pressure();
+  if (p != last_pressure_) {
+    if (p == MemPressure::soft) ++stats_.pressure_soft_events;
+    if (p == MemPressure::hard) ++stats_.pressure_hard_events;
+    if (static_cast<int>(p) > static_cast<int>(last_pressure_)) {
+      data_cache_.shrink();
+    }
+    last_pressure_ = p;
+  }
+  // Propagate online changes to the idle-shrink knob.
+  if (cfg_.memcache_idle_shrink != applied_idle_shrink_) {
+    applied_idle_shrink_ = cfg_.memcache_idle_shrink;
+    if (applied_idle_shrink_ > 0) {
+      ctrl_cache_.enable_idle_shrink(applied_idle_shrink_);
+      data_cache_.enable_idle_shrink(applied_idle_shrink_);
+    } else {
+      ctrl_cache_.disable_idle_shrink();
+      data_cache_.disable_idle_shrink();
+    }
   }
 }
 

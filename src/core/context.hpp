@@ -122,6 +122,15 @@ class Context {
   /// WRs counted against max_outstanding_wrs, and the deferred queue depth.
   std::uint32_t outstanding_wrs() const { return outstanding_wrs_; }
   std::size_t deferred_wr_count() const { return deferred_wrs_.size(); }
+
+  // --- Overload control ------------------------------------------------------
+  /// Aggregate bytes parked in every channel's bounded tx queue — the value
+  /// Config::ctx_tx_max_bytes caps and the xr_stat gauge reports.
+  std::uint64_t queued_tx_bytes() const { return queued_tx_bytes_; }
+  /// Where the data cache sits on the pressure ladder (normal → soft →
+  /// hard), per Config::mem_soft_pct / mem_hard_pct. Channels consult this
+  /// before admitting new work or issuing rendezvous pulls.
+  MemPressure mem_pressure() const;
   std::vector<Channel*> channels();
   std::size_t num_channels() const { return by_qp_.size(); }
 
@@ -226,6 +235,13 @@ class Context {
   void poll_loop_step();
   void park();
 
+  /// Channel tx-queue accounting (signed so dequeue/reset can subtract).
+  void note_queued_tx(std::int64_t delta) {
+    queued_tx_bytes_ =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(queued_tx_bytes_) +
+                                   delta);
+  }
+
   rnic::Rnic& nic_;
   verbs::cm::CmService& cm_;
   Config cfg_;
@@ -272,6 +288,10 @@ class Context {
   Nanos clock_skew_ = 0;
   Nanos clock_offset_estimate_ = 0;
   Nanos last_shrink_ = 0;
+
+  std::uint64_t queued_tx_bytes_ = 0;
+  MemPressure last_pressure_ = MemPressure::normal;
+  Nanos applied_idle_shrink_ = 0;
 
   FilterHook filter_;
   FilterHook egress_filter_;

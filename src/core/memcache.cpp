@@ -28,12 +28,24 @@ MemCache::Region* MemCache::grow() {
   return &mrs_.back();
 }
 
-MemBlock MemCache::alloc(std::uint32_t len) {
+MemBlock MemCache::alloc(std::uint32_t len, bool privileged) {
   ++stats_.alloc_calls;
+  note_activity();
   const std::uint32_t need = padded(len);
   if (need > cfg_.mr_bytes) {
     ++stats_.failed_allocs;
+    if (privileged) ++stats_.privileged_alloc_fails;
     return {};
+  }
+  if (!privileged && cfg_.reserve_bytes > 0) {
+    const std::uint64_t budget = budget_bytes();
+    const std::uint64_t open =
+        budget > cfg_.reserve_bytes ? budget - cfg_.reserve_bytes : 0;
+    if (stats_.in_use_bytes + need > open) {
+      ++stats_.failed_allocs;
+      ++stats_.reserve_denials;
+      return {};
+    }
   }
   auto carve = [&](Region& region) -> MemBlock {
     for (auto it = region.free_ranges.begin(); it != region.free_ranges.end();
@@ -67,11 +79,13 @@ MemBlock MemCache::alloc(std::uint32_t len) {
     if (b.valid()) return b;
   }
   ++stats_.failed_allocs;
+  if (privileged) ++stats_.privileged_alloc_fails;
   return {};
 }
 
 void MemCache::free(const MemBlock& block) {
   ++stats_.free_calls;
+  note_activity();
   for (auto& region : mrs_) {
     if (region.info.lkey != block.lkey) continue;
     const std::uint64_t guard = cfg_.isolation ? cfg_.guard_bytes : 0;
@@ -127,6 +141,27 @@ bool MemCache::check_guards(Region& region, std::uint64_t offset,
     if (base[cfg_.guard_bytes + len + i] != kCanary) return false;
   }
   return true;
+}
+
+void MemCache::enable_idle_shrink(Nanos idle) {
+  idle_delay_ = idle;
+  if (!idle_timer_) {
+    idle_timer_ = std::make_unique<sim::DeadlineTimer>(nic_.engine(), [this] {
+      ++stats_.idle_shrink_fires;
+      shrink();
+      // Not re-armed: the next alloc/free starts the next idle spell.
+    });
+  }
+  idle_timer_->arm_after(idle_delay_);
+}
+
+void MemCache::disable_idle_shrink() {
+  idle_delay_ = 0;
+  if (idle_timer_) idle_timer_->cancel();
+}
+
+void MemCache::note_activity() {
+  if (idle_timer_ && idle_delay_ > 0) idle_timer_->arm_after(idle_delay_);
 }
 
 void MemCache::shrink() {

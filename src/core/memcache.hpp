@@ -12,9 +12,11 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "rnic/rnic.hpp"
+#include "sim/timer.hpp"
 
 namespace xrdma::core {
 
@@ -33,7 +35,16 @@ struct MemCacheConfig {
   bool isolation = true;              // guard bands + canaries
   std::uint32_t guard_bytes = 64;
   bool real_memory = true;  // synthetic MRs for content-free benches
+  /// Headroom (bytes of the max_mrs*mr_bytes budget) only privileged
+  /// allocations may dip into. Keeps the control plane (ACK/NOP/keepalive/
+  /// FIN) live when data traffic has exhausted the pool. 0 disables.
+  std::uint64_t reserve_bytes = 0;
 };
+
+/// Occupancy ladder for graceful degradation (§VI): `soft` sheds new
+/// rendezvous pulls and triggers shrink, `hard` sheds all new data work and
+/// keeps only the control plane.
+enum class MemPressure { normal = 0, soft = 1, hard = 2 };
 
 struct MemCacheStats {
   std::uint64_t occupied_bytes = 0;  // registered capacity
@@ -44,6 +55,9 @@ struct MemCacheStats {
   std::uint64_t shrink_events = 0;
   std::uint64_t guard_violations = 0;
   std::uint64_t failed_allocs = 0;
+  std::uint64_t reserve_denials = 0;         // non-privileged hit the reserve
+  std::uint64_t privileged_alloc_fails = 0;  // control plane truly starved
+  std::uint64_t idle_shrink_fires = 0;
 };
 
 class MemCache {
@@ -55,8 +69,10 @@ class MemCache {
 
   /// Allocate `len` usable bytes of registered memory. Grows the pool if
   /// needed; returns an invalid block when the MR cap is reached or the
-  /// request exceeds one MR's usable size.
-  MemBlock alloc(std::uint32_t len);
+  /// request exceeds one MR's usable size. When a reserve is configured,
+  /// only `privileged` (control-plane) allocations may use the last
+  /// `reserve_bytes` of the budget.
+  MemBlock alloc(std::uint32_t len, bool privileged = false);
 
   /// Return a block. In isolation mode the guard canaries are verified
   /// first; a violation is counted and reported via the violation handler
@@ -68,6 +84,15 @@ class MemCache {
 
   /// Deregister MRs that are completely free, down to min_mrs.
   void shrink();
+
+  /// Shrink automatically once the cache has seen no alloc/free activity
+  /// for `idle` (paper §IV-E: idle MRs are deregistered). Each alloc/free
+  /// pushes the deadline back; the timer fires at most once per idle spell.
+  void enable_idle_shrink(Nanos idle);
+  void disable_idle_shrink();
+
+  /// Total capacity this cache may ever register.
+  std::uint64_t budget_bytes() const { return cfg_.max_mrs * cfg_.mr_bytes; }
 
   const MemCacheStats& stats() const { return stats_; }
   std::size_t num_mrs() const { return mrs_.size(); }
@@ -85,6 +110,7 @@ class MemCache {
   };
 
   Region* grow();
+  void note_activity();
   void write_guards(Region& region, std::uint64_t offset, std::uint32_t len);
   bool check_guards(Region& region, std::uint64_t offset, std::uint32_t len);
   std::uint32_t padded(std::uint32_t len) const {
@@ -96,6 +122,8 @@ class MemCache {
   std::list<Region> mrs_;
   MemCacheStats stats_;
   std::function<void(const MemBlock&)> on_violation_;
+  std::unique_ptr<sim::DeadlineTimer> idle_timer_;
+  Nanos idle_delay_ = 0;
 };
 
 }  // namespace xrdma::core

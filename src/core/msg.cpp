@@ -26,6 +26,7 @@ void WireHeader::encode(std::uint8_t* dst) const {
   put(p, rpc_id);
   put(p, rv_addr);
   put(p, rv_rkey);
+  put(p, budget_us);
   // Pad the bare header to kBareSize.
   const std::uint32_t used = static_cast<std::uint32_t>(p - dst);
   std::memset(p, 0, kBareSize - used);
@@ -53,6 +54,7 @@ bool WireHeader::decode(const std::uint8_t* src, std::uint32_t len,
   get(p, out.rpc_id);
   get(p, out.rv_addr);
   get(p, out.rv_rkey);
+  get(p, out.budget_us);
   if (out.has(kFlagTraced)) {
     if (len < kBareSize + kTraceSize) return false;
     p = src + kBareSize;

@@ -28,6 +28,9 @@ enum MsgFlags : std::uint16_t {
   kFlagNop = 1 << 4,       // deadlock-break NOP (windowless)
   kFlagFin = 1 << 5,       // graceful close
   kFlagTraced = 1 << 6,    // trace block present and valid
+  kFlagNak = 1 << 7,       // receiver shed a rendezvous pull (windowless);
+                           // rpc_id carries the NAK'd seq, rv_addr the
+                           // retry-after hint in ns
 };
 
 struct WireHeader {
@@ -44,11 +47,17 @@ struct WireHeader {
   // Rendezvous source descriptor (kFlagLarge).
   std::uint64_t rv_addr = 0;
   std::uint32_t rv_rkey = 0;
+  // Remaining RPC deadline budget in microseconds at emit time (kFlagRpcReq;
+  // 0 = no deadline). Relative, not absolute: host clocks are not
+  // synchronized, so the receiver rebases it onto its own clock.
+  std::uint32_t budget_us = 0;
   // Trace block (kFlagTraced).
   std::int64_t t_send = 0;    // sender clock at send_msg time
   std::uint64_t trace_id = 0;
 
-  bool is_data() const { return (flags & (kFlagAckOnly | kFlagNop)) == 0; }
+  bool is_data() const {
+    return (flags & (kFlagAckOnly | kFlagNop | kFlagNak)) == 0;
+  }
   bool has(MsgFlags f) const { return (flags & f) != 0; }
 
   std::uint32_t wire_size() const {
@@ -73,6 +82,10 @@ struct Msg {
   Nanos t_send = 0;      // sender's stamp (traced messages)
   Nanos t_deliver = 0;   // local delivery time
   std::uint64_t trace_id = 0;
+  // Deadline propagation (RPC requests carrying a budget): how much of the
+  // caller's deadline remains at delivery, after wire + queue time.
+  bool has_deadline = false;
+  Nanos deadline_left = 0;
 };
 
 }  // namespace xrdma::core

@@ -38,6 +38,15 @@ struct ChannelStats {
   std::uint64_t fallback_switches = 0;  // escalations onto the TCP fallback
   std::uint64_t fallback_restores = 0;  // returns from TCP to RDMA
   std::uint64_t rpc_aborts = 0;  // RPCs completed channel_closed at close()
+  // Overload control.
+  std::uint64_t tx_would_block = 0;   // sends rejected at the queue cap
+  std::uint64_t writable_signals = 0; // on_writable edge firings
+  std::uint64_t naks_tx = 0;          // rendezvous pulls NAK'd (receiver)
+  std::uint64_t naks_rx = 0;          // NAKs received (sender)
+  std::uint64_t pulls_deferred = 0;   // pulls parked on memory pressure
+  std::uint64_t tx_mem_deferrals = 0; // emits/retransmits parked on alloc fail
+  std::uint64_t ctrl_alloc_failures = 0;  // control plane hit an empty pool
+  std::uint64_t tx_shed = 0;          // sends shed under hard mem pressure
 };
 
 struct ContextStats {
@@ -52,6 +61,8 @@ struct ContextStats {
   std::uint64_t channels_closed = 0;
   std::uint64_t channel_errors = 0;
   std::uint64_t channels_recovered = 0;  // recoveries brought back to service
+  std::uint64_t pressure_soft_events = 0;  // ladder transitions into soft
+  std::uint64_t pressure_hard_events = 0;  // ladder transitions into hard
   Histogram rpc_latency;  // ns, across all channels
   Histogram recovery_latency;  // ns, fault detection -> channel usable again
 };

@@ -30,6 +30,12 @@ void Engine::fire(NodePtr node) {
   ++processed_;
   Callback cb = std::move(node->cb);
   node->cb = nullptr;
+  // Release the node before invoking the callback: EventId::armed() is a
+  // weak_ptr liveness probe, and a firing event is no longer armed. Holding
+  // the node here made armed() read true *inside the event's own callback*,
+  // so a handler that conditionally re-arms its timer (keepalive, memory
+  // retry) would silently skip the re-arm and never fire again.
+  node.reset();
   cb();
   if (post_hook_) post_hook_();
 }

@@ -9,6 +9,15 @@
 namespace xrdma::tools {
 
 namespace {
+const char* pressure_name(core::MemPressure p) {
+  switch (p) {
+    case core::MemPressure::normal: return "normal";
+    case core::MemPressure::soft: return "soft";
+    case core::MemPressure::hard: return "hard";
+  }
+  return "?";
+}
+
 const char* state_name(core::Channel::State s) {
   switch (s) {
     case core::Channel::State::established: return "ESTABLISHED";
@@ -24,14 +33,14 @@ const char* state_name(core::Channel::State s) {
 std::string xr_stat(core::Context& ctx) {
   std::ostringstream os;
   os << strfmt("%-6s %-6s %-12s %10s %10s %12s %12s %8s %8s %6s %6s %5s "
-               "%5s %5s %5s\n",
+               "%5s %5s %5s %6s %5s %5s\n",
                "peer", "qp", "state", "msgs_tx", "msgs_rx", "bytes_tx",
                "bytes_rx", "inflight", "queued", "acks", "nops", "ka",
-               "recov", "retx", "fallb");
+               "recov", "retx", "fallb", "wblock", "naks", "shed");
   for (core::Channel* ch : ctx.channels()) {
     const auto& s = ch->stats();
     os << strfmt("%-6u %-6u %-12s %10llu %10llu %12llu %12llu %8zu %8zu "
-                 "%6llu %6llu %5llu %5llu %5llu %5llu\n",
+                 "%6llu %6llu %5llu %5llu %5llu %5llu %6llu %5llu %5llu\n",
                  ch->peer_node(), ch->qp_num(), state_name(ch->state()),
                  static_cast<unsigned long long>(s.msgs_tx),
                  static_cast<unsigned long long>(s.msgs_rx),
@@ -43,7 +52,10 @@ std::string xr_stat(core::Context& ctx) {
                  static_cast<unsigned long long>(s.keepalive_probes),
                  static_cast<unsigned long long>(s.recoveries_completed),
                  static_cast<unsigned long long>(s.recovery_retransmits),
-                 static_cast<unsigned long long>(s.fallback_switches));
+                 static_cast<unsigned long long>(s.fallback_switches),
+                 static_cast<unsigned long long>(s.tx_would_block),
+                 static_cast<unsigned long long>(s.naks_tx + s.naks_rx),
+                 static_cast<unsigned long long>(s.tx_shed));
   }
   return os.str();
 }
@@ -83,6 +95,15 @@ std::string xr_stat_summary(core::Context& ctx) {
                                                data.shrink_events),
                static_cast<unsigned long long>(ctrl.guard_violations +
                                                data.guard_violations));
+  os << strfmt("  overload: pressure=%s queued_tx=%llu soft_events=%llu "
+               "hard_events=%llu reserve_denials=%llu ctrl_starved=%llu\n",
+               pressure_name(ctx.mem_pressure()),
+               static_cast<unsigned long long>(ctx.queued_tx_bytes()),
+               static_cast<unsigned long long>(cs.pressure_soft_events),
+               static_cast<unsigned long long>(cs.pressure_hard_events),
+               static_cast<unsigned long long>(ctrl.reserve_denials +
+                                               data.reserve_denials),
+               static_cast<unsigned long long>(ctrl.privileged_alloc_fails));
   os << strfmt("  qp_cache: size=%zu hits=%llu misses=%llu\n",
                ctx.qp_cache().size(),
                static_cast<unsigned long long>(ctx.qp_cache().hits()),

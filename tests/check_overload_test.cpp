@@ -1,0 +1,151 @@
+// X-Check under overload: the incast / bounded-queue / shrunken-memcache
+// schedule shapes must keep every oracle green while actually exercising
+// backpressure, and the replay format must carry the new knobs without
+// breaking pre-existing replay files.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "check/harness.hpp"
+#include "check/schedule.hpp"
+
+namespace xrdma::check {
+namespace {
+
+RunOptions quiet() {
+  RunOptions opt;
+  opt.verbose = false;
+  return opt;
+}
+
+ScheduleParams overload_params() {
+  ScheduleParams p;
+  p.num_hosts = 4;
+  p.num_ops = 300;  // dense burst: the bounded queues must actually fill
+  p.num_faults = 8;
+  p.horizon = millis(20);
+  p.window_depth = 2;
+  p.tx_queue_cap = 2;
+  p.incast = true;      // every flow aims at node 0
+  p.mem_budget_mb = 2;  // small pools: the pressure ladder is reachable
+  return p;
+}
+
+TEST(Overload, IncastSeedsSatisfyAllOraclesAndExerciseBackpressure) {
+  std::uint64_t total_rejected = 0;
+  std::uint64_t total_delivered = 0;
+  for (std::uint64_t seed = 9000; seed < 9005; ++seed) {
+    SCOPED_TRACE(testing::Message() << "XCHECK_SEED=" << seed);
+    const RunReport r = check_seed(seed, overload_params(), quiet());
+    EXPECT_TRUE(r.passed()) << describe(r);
+    EXPECT_GT(r.msgs_delivered, 0u) << describe(r);
+    EXPECT_GT(r.oracle_observations, 0u) << describe(r);
+    total_rejected += r.msgs_rejected;
+    total_delivered += r.msgs_delivered;
+  }
+  // The shape exists to drive the overload machinery: across the sweep the
+  // bounded queue must have pushed back at least once, and rejection must
+  // never be the common case (graceful degradation, not collapse).
+  EXPECT_GT(total_rejected, 0u);
+  EXPECT_GT(total_delivered, total_rejected);
+}
+
+TEST(Overload, IncastScheduleTargetsSingleReceiver) {
+  const Schedule s = generate_schedule(5, overload_params());
+  for (const Op& op : s.ops) {
+    if (op.kind == OpKind::send || op.kind == OpKind::call) {
+      EXPECT_EQ(op.dst, 0);
+      EXPECT_NE(op.src, 0);
+    }
+  }
+}
+
+TEST(Overload, RunsAreDeterministicUnderPressure) {
+  // Deferred pulls, NAK retries and writable edges all ride timers; none of
+  // that may introduce nondeterminism.
+  const Schedule s = generate_schedule(777, overload_params());
+  const RunReport a = run_schedule(s, quiet());
+  const RunReport b = run_schedule(s, quiet());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.msgs_rejected, b.msgs_rejected);
+  EXPECT_EQ(a.violations, b.violations);
+}
+
+TEST(Overload, ReplayRoundTripsNewParams) {
+  const Schedule s = generate_schedule(31, overload_params());
+  Schedule back;
+  ASSERT_TRUE(deserialize_schedule(serialize_schedule(s), back));
+  EXPECT_EQ(back.params.tx_queue_cap, s.params.tx_queue_cap);
+  EXPECT_TRUE(back.params.incast);
+  EXPECT_EQ(back.params.mem_budget_mb, s.params.mem_budget_mb);
+  EXPECT_EQ(serialize_schedule(back), serialize_schedule(s));
+  // Replaying the loaded schedule is the same run.
+  const RunReport a = run_schedule(s, quiet());
+  const RunReport b = run_schedule(back, quiet());
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(Overload, LegacyReplayFilesWithoutOverloadKeysStillLoad) {
+  // A replay written before the overload knobs existed has no txcap /
+  // incast / membudget keys: it must parse and default to the legacy
+  // unbounded behaviour.
+  const std::string legacy =
+      "xcheck v1\n"
+      "seed 12\n"
+      "params hosts 2 slots 1 numops 4 numfaults 0 horizon 1000000\n"
+      "op 1000 send 0 1 0 512 7\n"
+      "end\n";
+  Schedule s;
+  ASSERT_TRUE(deserialize_schedule(legacy, s));
+  EXPECT_EQ(s.params.tx_queue_cap, 0u);
+  EXPECT_FALSE(s.params.incast);
+  EXPECT_EQ(s.params.mem_budget_mb, 0u);
+  EXPECT_EQ(s.ops.size(), 1u);
+}
+
+// Wall-clock-bounded overload soak for the nightly job: fresh seeds of the
+// incast/bounded-queue/shrunken-memcache shape until XCHECK_OVERLOAD_SOAK_MS
+// expires. Skipped unless the env var is set.
+TEST(Soak, OverloadSeedsUntilWallClockBudgetExpires) {
+  const char* budget_env = std::getenv("XCHECK_OVERLOAD_SOAK_MS");
+  if (!budget_env) GTEST_SKIP() << "set XCHECK_OVERLOAD_SOAK_MS to enable";
+  const long budget_ms = std::strtol(budget_env, nullptr, 10);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t base = 0x0e1d0adULL;
+  if (const char* env = std::getenv("XCHECK_SEED")) {
+    if (std::string(env) == "random") {
+      base = (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^
+             std::random_device{}();
+      std::fprintf(stderr, "[xcheck] overload soak: random base %llu\n",
+                   static_cast<unsigned long long>(base));
+    } else {
+      base = std::strtoull(env, nullptr, 0);
+    }
+  }
+  std::uint64_t runs = 0;
+  while (std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count() < budget_ms) {
+    const std::uint64_t seed = base + runs;
+    SCOPED_TRACE(testing::Message() << "XCHECK_SEED=" << seed);
+    RunOptions opt;
+    if (const char* dir = std::getenv("XCHECK_REPLAY_DIR")) {
+      opt.replay_path = std::string(dir) + "/xcheck_overload_soak_" +
+                        std::to_string(seed) + ".replay";
+    }
+    const RunReport r = check_seed(seed, overload_params(), opt);
+    ASSERT_TRUE(r.passed()) << describe(r);
+    ++runs;
+  }
+  std::fprintf(stderr, "[xcheck] overload soak: %llu seeds in %ld ms budget\n",
+               static_cast<unsigned long long>(runs), budget_ms);
+  EXPECT_GT(runs, 0u);
+}
+
+}  // namespace
+}  // namespace xrdma::check

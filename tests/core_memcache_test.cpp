@@ -138,6 +138,77 @@ TEST_F(CacheFixture, CoalescingAllowsLargeAllocAfterFragmentedFrees) {
   EXPECT_TRUE(cache.alloc(120 * 1024).valid());
 }
 
+TEST_F(CacheFixture, IdleShrinkFiresAfterQuietPeriod) {
+  MemCacheConfig cfg;
+  cfg.mr_bytes = 64 * 1024;
+  MemCache cache(nic, cfg);
+  cache.enable_idle_shrink(millis(5));
+  std::vector<MemBlock> blocks;
+  for (int i = 0; i < 40; ++i) blocks.push_back(cache.alloc(4096));
+  const std::size_t grown = cache.num_mrs();
+  ASSERT_GT(grown, 1u);
+  for (const auto& b : blocks) cache.free(b);
+  // Activity keeps pushing the deadline back: no fire while we churn.
+  for (int i = 0; i < 5; ++i) {
+    cluster.engine().run_for(millis(2));
+    cache.free(cache.alloc(64));
+  }
+  EXPECT_EQ(cache.stats().idle_shrink_fires, 0u);
+  // Go quiet: the idle timer reclaims everything down to min_mrs.
+  cluster.engine().run_for(millis(10));
+  EXPECT_EQ(cache.stats().idle_shrink_fires, 1u);
+  EXPECT_EQ(cache.num_mrs(), cfg.min_mrs);
+  // One fire per idle spell, not a periodic drumbeat.
+  cluster.engine().run_for(millis(50));
+  EXPECT_EQ(cache.stats().idle_shrink_fires, 1u);
+}
+
+TEST_F(CacheFixture, ReserveAdmitsOnlyPrivilegedAllocations) {
+  MemCacheConfig cfg;
+  cfg.mr_bytes = 64 * 1024;
+  cfg.max_mrs = 1;
+  cfg.isolation = false;
+  cfg.reserve_bytes = 16 * 1024;
+  MemCache cache(nic, cfg);
+  // Fill the unreserved part of the budget.
+  std::vector<MemBlock> data;
+  while (true) {
+    MemBlock b = cache.alloc(4096);
+    if (!b.valid()) break;
+    data.push_back(b);
+  }
+  EXPECT_GT(cache.stats().reserve_denials, 0u);
+  // The denial left the reserve intact: privileged (control-plane) traffic
+  // still gets memory out of the headroom.
+  MemBlock ctrl = cache.alloc(4096, /*privileged=*/true);
+  EXPECT_TRUE(ctrl.valid());
+  EXPECT_EQ(cache.stats().privileged_alloc_fails, 0u);
+  cache.free(ctrl);
+  for (const auto& b : data) cache.free(b);
+}
+
+TEST_F(CacheFixture, StarvedCacheFailsCleanlyAtMrCap) {
+  // max_mrs=1 is the starved configuration the channel alloc-audit tests
+  // run against: the cap must surface as invalid blocks + failed_allocs,
+  // never as unbounded growth.
+  MemCacheConfig cfg;
+  cfg.mr_bytes = 64 * 1024;
+  cfg.max_mrs = 1;
+  cfg.isolation = false;
+  MemCache cache(nic, cfg);
+  std::vector<MemBlock> blocks;
+  while (true) {
+    MemBlock b = cache.alloc(8 * 1024);
+    if (!b.valid()) break;
+    blocks.push_back(b);
+  }
+  EXPECT_GT(cache.stats().failed_allocs, 0u);
+  EXPECT_EQ(cache.num_mrs(), 1u);
+  EXPECT_LE(cache.stats().occupied_bytes, cache.budget_bytes());
+  for (const auto& b : blocks) cache.free(b);
+  EXPECT_EQ(cache.stats().in_use_bytes, 0u);
+}
+
 // Allocator property sweep: random alloc/free sequences preserve
 // accounting and never hand out overlapping blocks.
 class MemCacheProperty : public ::testing::TestWithParam<std::uint64_t> {};

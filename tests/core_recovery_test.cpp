@@ -4,6 +4,7 @@
 // and probe-based restoration to RDMA once the path heals.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "analysis/filter.hpp"
 #include "analysis/mock.hpp"
 #include "core/context.hpp"
+#include "sim/timer.hpp"
 #include "testbed/cluster.hpp"
 #include "tools/xr_stat.hpp"
 
@@ -231,6 +233,86 @@ TEST(Recovery, CmFailuresEscalateToTcpFallbackThenRestore) {
   ASSERT_EQ(got.size(), 4u);
   EXPECT_EQ(got.back(), "rdma-again");
   EXPECT_GT(t.cluster.rnic(0).stats().tx_packets, rnic_tx_before);
+}
+
+TEST(Recovery, SustainedLoadAcrossFallbackAndRestore) {
+  // The overload path and the self-healing path compose: a sender under
+  // continuous load (bounded tx queue, so some sends bounce with
+  // would_block) rides escalate -> TCP fallback -> restore without losing,
+  // duplicating or reordering anything, and the keepalive machinery stays
+  // live on the fallback the whole way through.
+  Config cfg;
+  cfg.tx_queue_max_msgs = 8;
+  cfg.keepalive_intv = millis(2);
+  cfg.keepalive_timeout = millis(30);
+  Pair t(cfg);
+  t.establish();
+  MockFallback server_mock(t.server, t.cluster.host(1).tcp(), 9400);
+  MockFallback::enable_auto(t.client, t.cluster.host(0).tcp(), 9400);
+
+  Filter filter(t.client, /*seed=*/29);
+  const std::size_t cm_rule =
+      filter.add_rule({FaultKind::cm_timeout, 1.0, 0, -1, 0});
+
+  std::vector<std::uint64_t> got;
+  t.server_ch->set_on_msg([&](Channel&, Msg&& m) {
+    std::uint64_t tag = 0;
+    std::memcpy(&tag, m.payload.data(), sizeof(tag));
+    got.push_back(tag);
+  });
+  bool app_saw_error = false;
+  t.client_ch->set_on_error([&](Channel&, Errc) { app_saw_error = true; });
+
+  // Offered load: one tagged message every 100 µs for the whole scenario.
+  // would_block is legal (the queue is bounded); silent loss is not — every
+  // *accepted* tag must arrive exactly once, in order.
+  std::uint64_t next_tag = 0;
+  std::vector<std::uint64_t> accepted;
+  sim::PeriodicTimer load(t.cluster.engine(), micros(100), [&] {
+    Buffer b = Buffer::make(64);
+    std::memcpy(b.data(), &next_tag, sizeof(next_tag));
+    if (t.client_ch->send_msg(std::move(b)) == Errc::ok) {
+      accepted.push_back(next_tag);
+    }
+    ++next_tag;
+  });
+  load.start();
+
+  // Worst keepalive silence observed on the client channel, sampled finer
+  // than the keepalive interval. Liveness must hold *through* the fault.
+  Nanos worst_gap = 0;
+  sim::PeriodicTimer gap_probe(t.cluster.engine(), micros(500), [&] {
+    const Nanos last =
+        std::max({t.client_ch->last_tx_time(), t.client_ch->last_rx_time(),
+                  t.client_ch->last_alive_time()});
+    worst_gap = std::max(worst_gap, t.cluster.engine().now() - last);
+  });
+  gap_probe.start();
+
+  t.run(millis(5));
+  filter.kill_qp(*t.client_ch);  // load keeps arriving during recovery
+  t.run(millis(100));
+  ASSERT_TRUE(t.client_ch->mocked());
+  EXPECT_EQ(t.client_ch->stats().fallback_switches, 1u);
+
+  t.run(millis(30));  // sustained load *on* the fallback
+  filter.remove_rule(cm_rule);
+  t.run(millis(200));
+  EXPECT_FALSE(t.client_ch->mocked());
+  EXPECT_EQ(t.client_ch->stats().fallback_restores, 1u);
+
+  load.stop();
+  gap_probe.stop();
+  t.run(millis(50));  // drain
+
+  // Exactly-once, in-order, across two transport migrations.
+  EXPECT_EQ(got, accepted);
+  EXPECT_GT(accepted.size(), 100u);  // the load actually ran throughout
+  EXPECT_FALSE(app_saw_error);
+  EXPECT_EQ(t.client_ch->state(), Channel::State::established);
+  // Keepalive liveness: the channel was never silent longer than the
+  // keepalive budget, even while the QP was dead and load was parked.
+  EXPECT_LE(worst_gap, cfg.keepalive_intv + 2 * cfg.keepalive_timeout);
 }
 
 TEST(Recovery, CountersVisibleInXrStat) {

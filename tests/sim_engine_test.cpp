@@ -125,6 +125,26 @@ TEST(PeriodicTimer, DestructionCancelsPending) {
   EXPECT_EQ(fires, 0);
 }
 
+TEST(DeadlineTimer, NotArmedInsideOwnCallback) {
+  // Regression: fire() used to keep the event node alive while running the
+  // callback, so armed() read true *inside the timer's own handler*. Any
+  // handler that conditionally re-arms ("if (!armed()) arm_after(...)") —
+  // the memory-retry and keepalive pattern — silently skipped the re-arm
+  // and the timer went dead forever.
+  Engine eng;
+  int fires = 0;
+  DeadlineTimer* self = nullptr;
+  DeadlineTimer timer(eng, [&] {
+    ++fires;
+    EXPECT_FALSE(self->armed());
+    if (fires < 3 && !self->armed()) self->arm_after(micros(10));
+  });
+  self = &timer;
+  timer.arm_after(micros(10));
+  eng.run();
+  EXPECT_EQ(fires, 3);
+}
+
 TEST(DeadlineTimer, RearmPushesDeadlineBack) {
   Engine eng;
   Nanos fired_at = -1;
