@@ -13,6 +13,7 @@ constexpr const char* kFaultKindNames[kNumFaultKinds] = {
     "ingress_drop", "ingress_delay", "ingress_corrupt",
     "egress_drop",  "egress_delay",  "egress_corrupt",
     "qp_kill",      "cm_refuse",     "cm_timeout",
+    "host_down",    "host_up",
 };
 
 bool is_ingress(FaultKind k) {
@@ -203,6 +204,8 @@ FaultSchedule::FaultSchedule(Filter& filter, Config cfg)
   rng_.reseed(cfg_.seed);
   kill_timer_ = std::make_unique<sim::DeadlineTimer>(
       filter_.context().engine(), [this] { fire_kill(); });
+  flap_timer_ = std::make_unique<sim::DeadlineTimer>(
+      filter_.context().engine(), [this] { flap_tick(); });
 }
 
 FaultSchedule::~FaultSchedule() { stop(); }
@@ -223,6 +226,20 @@ void FaultSchedule::start() {
     r.delay = cfg_.max_delay;
     rule_ids_.push_back(filter_.add_rule(r));
   }
+  if (cfg_.brownout_prob > 0 && cfg_.brownout_delay > 0) {
+    for (const FaultKind kind :
+         {FaultKind::ingress_delay, FaultKind::egress_delay}) {
+      FaultRule r;
+      r.kind = kind;
+      r.probability = cfg_.brownout_prob;
+      r.delay = cfg_.brownout_delay;
+      rule_ids_.push_back(filter_.add_rule(r));
+    }
+  }
+  if (cfg_.flap_period > 0 && cfg_.flap_down > 0 &&
+      cfg_.flap_down < cfg_.flap_period && flap_hook_) {
+    flap_timer_->arm_after(cfg_.flap_period - cfg_.flap_down);
+  }
   arm_next_kill();
 }
 
@@ -230,6 +247,11 @@ void FaultSchedule::stop() {
   if (!running_) return;
   running_ = false;
   kill_timer_->cancel();
+  flap_timer_->cancel();
+  if (flap_is_down_) {
+    flap_is_down_ = false;
+    if (flap_hook_) flap_hook_(false);
+  }
   for (std::size_t id : rule_ids_) filter_.remove_rule(id);
   rule_ids_.clear();
 }
@@ -258,6 +280,20 @@ void FaultSchedule::fire_kill() {
     ++kills_;
   }
   arm_next_kill();
+}
+
+void FaultSchedule::flap_tick() {
+  if (!running_ || !flap_hook_) return;
+  if (!flap_is_down_) {
+    flap_is_down_ = true;
+    flap_hook_(true);
+    flap_timer_->arm_after(cfg_.flap_down);
+  } else {
+    flap_is_down_ = false;
+    ++flap_cycles_;
+    flap_hook_(false);
+    flap_timer_->arm_after(cfg_.flap_period - cfg_.flap_down);
+  }
 }
 
 }  // namespace xrdma::analysis

@@ -46,8 +46,10 @@ enum class FaultKind : std::uint8_t {
   qp_kill,     // accounting only (kills are injected via kill_qp*)
   cm_refuse,   // CM answers REP(reject)
   cm_timeout,  // CM REQ goes unanswered (full connect timeout)
+  host_down,   // accounting only (the harness silences the host's stacks)
+  host_up,     // accounting only (the harness revives the host)
 };
-inline constexpr std::size_t kNumFaultKinds = 9;
+inline constexpr std::size_t kNumFaultKinds = 11;
 
 struct FaultRule {
   FaultKind kind = FaultKind::ingress_drop;
@@ -130,28 +132,50 @@ class FaultSchedule {
     double delay_prob = 0.0;  // ingress delay probability while running
     Nanos max_delay = micros(200);
     std::uint32_t max_kills = 8;  // stop killing after this many
+    // Brownout shape: sustained bounded delay on BOTH directions — latency
+    // inflation that must never trip the failure detector (oracle 11).
+    double brownout_prob = 0.0;
+    Nanos brownout_delay = 0;
+    // Flap shape: toggle the flap hook down for flap_down out of every
+    // flap_period (the caller binds the hook to host liveness or a link).
+    Nanos flap_period = 0;
+    Nanos flap_down = 0;
   };
 
   FaultSchedule(Filter& filter, Config cfg);
   ~FaultSchedule();
 
+  /// Target of the flap shape: called with true when the link/host goes
+  /// down, false when it comes back. Must be set before start() for
+  /// flap_period to have any effect.
+  void set_flap_hook(std::function<void(bool down)> hook) {
+    flap_hook_ = std::move(hook);
+  }
+
   void start();
-  /// Removes the probabilistic rules and stops scheduling kills. Already
-  /// dropped messages stay dropped — follow with a flush (e.g. one final
-  /// kill per channel) if the workload must complete.
+  /// Removes the probabilistic rules and stops scheduling kills/flaps (a
+  /// down flap target is brought back up). Already dropped messages stay
+  /// dropped — follow with a flush (e.g. one final kill per channel) if the
+  /// workload must complete.
   void stop();
   std::uint32_t kills() const { return kills_; }
+  std::uint32_t flap_cycles() const { return flap_cycles_; }
 
  private:
   void arm_next_kill();
   void fire_kill();
+  void flap_tick();
 
   Filter& filter_;
   Config cfg_;
   Rng rng_;
   std::unique_ptr<sim::DeadlineTimer> kill_timer_;
+  std::unique_ptr<sim::DeadlineTimer> flap_timer_;
+  std::function<void(bool)> flap_hook_;
   std::vector<std::size_t> rule_ids_;
   std::uint32_t kills_ = 0;
+  std::uint32_t flap_cycles_ = 0;
+  bool flap_is_down_ = false;
   bool running_ = false;
 };
 

@@ -121,6 +121,7 @@ void ContextMetrics::refresh() {
     agg.tx_mem_deferrals += s.tx_mem_deferrals;
     agg.ctrl_alloc_failures += s.ctrl_alloc_failures;
     agg.tx_shed += s.tx_shed;
+    agg.breaker_fastfails += s.breaker_fastfails;
     if (ch->usable()) ++established;
     inflight += ch->inflight_msgs();
     queued += ch->queued_msgs();
@@ -159,6 +160,7 @@ void ContextMetrics::refresh() {
   reg_.counter("chan.tx_mem_deferrals") = agg.tx_mem_deferrals;
   reg_.counter("chan.ctrl_alloc_failures") = agg.ctrl_alloc_failures;
   reg_.counter("chan.tx_shed") = agg.tx_shed;
+  reg_.counter("chan.breaker_fastfails") = agg.breaker_fastfails;
   reg_.gauge("chan.established") = static_cast<double>(established);
   reg_.gauge("chan.inflight") = static_cast<double>(inflight);
   reg_.gauge("chan.queued") = static_cast<double>(queued);
@@ -190,6 +192,39 @@ void ContextMetrics::refresh() {
       static_cast<double>(ctrl.occupied_bytes + data.occupied_bytes) / 1e6;
   reg_.gauge("mem.in_use_mb") =
       static_cast<double>(ctrl.in_use_bytes + data.in_use_bytes) / 1e6;
+
+  // Health plane: aggregate counters plus one gauge set per known peer
+  // ("health.peer.<node>.*" — what xr_ping's health view reads).
+  const auto& hs = ctx_.health().stats();
+  reg_.counter("health.dead_declarations") = hs.dead_declarations;
+  reg_.counter("health.breaker_opens") = hs.breaker_opens;
+  reg_.counter("health.breaker_closes") = hs.breaker_closes;
+  reg_.counter("health.connects_allowed") = hs.connects_allowed;
+  reg_.counter("health.connects_denied") = hs.connects_denied;
+  reg_.counter("health.flaps") = hs.flaps;
+  reg_.counter("health.holddown_escalations") = hs.holddown_escalations;
+  reg_.counter("health.suspect_transitions") = hs.suspect_transitions;
+  reg_.counter("health.degraded_transitions") = hs.degraded_transitions;
+  double peers_dead = 0, breakers_open = 0;
+  const auto views = ctx_.health().peers();
+  for (const core::PeerHealthView& pv : views) {
+    if (pv.state == core::PeerState::dead) ++peers_dead;
+    if (pv.breaker_open) ++breakers_open;
+    const std::string prefix = strfmt("health.peer.%u.", pv.peer);
+    reg_.gauge(prefix + "state") =
+        static_cast<double>(static_cast<int>(pv.state));
+    reg_.gauge(prefix + "phi") = pv.phi;
+    reg_.gauge(prefix + "bound_us") = to_micros(pv.silence_bound);
+    reg_.gauge(prefix + "rtt_p50_us") = to_micros(pv.rtt_p50);
+    reg_.gauge(prefix + "rtt_p99_us") = to_micros(pv.rtt_p99);
+    reg_.gauge(prefix + "flaps") = static_cast<double>(pv.flaps);
+    reg_.gauge(prefix + "holddown_level") =
+        static_cast<double>(pv.holddown_level);
+    reg_.gauge(prefix + "channels") = static_cast<double>(pv.channels);
+  }
+  reg_.gauge("health.peers") = static_cast<double>(views.size());
+  reg_.gauge("health.peers_dead") = peers_dead;
+  reg_.gauge("health.breakers_open") = breakers_open;
 }
 
 }  // namespace xrdma::analysis

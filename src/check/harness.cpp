@@ -99,6 +99,7 @@ class Runner {
   std::vector<CacheBaseline> baseline_;
   RunReport rep_;
   std::uint64_t probe_tick_ = 0;
+  std::uint64_t host_faults_ = 0;  // host_down/up injections (no Filter rule)
 };
 
 core::Config Runner::make_config() const {
@@ -125,6 +126,10 @@ core::Config Runner::make_config() const {
   // full kill -> resume -> retransmit cycles, and quiesce converges.
   cfg.keepalive_intv = millis(2);
   cfg.keepalive_timeout = millis(10);
+  // Health plane: the φ-accrual adaptive bound is opt-in per schedule; the
+  // breaker and flap hold-down are always armed (they are no-ops until a
+  // peer is actually declared dead, which needs a host_down fault).
+  cfg.health_adaptive = s_.params.health_adaptive;
   cfg.recovery_max_attempts = 4;
   cfg.recovery_backoff = micros(200);
   cfg.deadlock_scan_period = micros(500);
@@ -168,6 +173,43 @@ RunReport Runner::run() {
     nptrs.push_back(&cluster_->rnic(n));
   }
   live_.attach(std::move(cptrs), std::move(nptrs), &log_);
+  // Oracle 11 is only meaningful when nothing in the schedule can silence a
+  // peer at the transport level: a downed host's own context legitimately
+  // declares its whole world dead, and a drop storm that exhausts the NIC's
+  // retransmit budget surfaces as retry-exceeded — indistinguishable from a
+  // dead peer by design. Delay and corruption faults keep the oracle armed:
+  // bounded latency or payload damage must never read as silence.
+  // qp_kill counts too: a one-sided kill leaves the surviving peer probing
+  // into a void until the resume handshake lands — and when the killed side
+  // is a passive acceptor, that silence legitimately exceeds the bound.
+  for (const FaultOp& f : s_.faults) {
+    if (f.kind == analysis::FaultKind::host_down ||
+        f.kind == analysis::FaultKind::host_up ||
+        f.kind == analysis::FaultKind::ingress_drop ||
+        f.kind == analysis::FaultKind::egress_drop ||
+        f.kind == analysis::FaultKind::qp_kill) {
+      live_.set_silence_faults_injected(true);
+      break;
+    }
+  }
+  if (s_.params.brownout_delay_us > 0) {
+    // Brownout shape: persistent bounded latency inflation on every node,
+    // both directions, for the whole workload window (cleared at quiesce).
+    // The bound must stay under the failure detector's floor — oracle 11
+    // fails the run if the health plane still declares anyone dead.
+    for (auto& f : filters_) {
+      for (const analysis::FaultKind kind :
+           {analysis::FaultKind::ingress_delay,
+            analysis::FaultKind::egress_delay}) {
+        analysis::FaultRule r;
+        r.kind = kind;
+        r.probability = 0.35;
+        r.budget = -1;
+        r.delay = micros(s_.params.brownout_delay_us);
+        f->add_rule(r);
+      }
+    }
+  }
   if (opt_.continuous_checks) {
     const std::uint32_t stride = opt_.probe_stride ? opt_.probe_stride : 1;
     eng.set_post_event_hook([this, stride] {
@@ -303,6 +345,15 @@ void Runner::close_slot(SlotState& st) {
 void Runner::inject(const FaultOp& f) {
   if (f.node >= filters_.size()) return;
   analysis::Filter& flt = *filters_[f.node];
+  if (f.kind == analysis::FaultKind::host_down ||
+      f.kind == analysis::FaultKind::host_up) {
+    // Host faults bypass the Filter: silence (or revive) the node's RDMA
+    // and TCP stacks directly — the closest simulation of a crashed or
+    // partitioned machine. Counted by hand since no Filter rule fires.
+    cluster_->host(f.node).set_alive(f.kind == analysis::FaultKind::host_up);
+    ++host_faults_;
+    return;
+  }
   if (f.kind == analysis::FaultKind::qp_kill) {
     SlotState& st = slots_[{f.src, f.dst, f.slot}];
     if (st.ch && st.ch->usable()) flt.kill_qp(*st.ch);
@@ -399,7 +450,12 @@ void Runner::on_delivery(core::Channel& ch, core::Msg&& m) {
 
 void Runner::quiesce() {
   sim::Engine& eng = cluster_->engine();
-  // 1. Stop injecting; let in-flight chaos settle.
+  // 1. Stop injecting; let in-flight chaos settle. Any host still silenced
+  // by an unpaired host_down comes back first — quiesce judges a live
+  // cluster (generation always pairs down with up, but shrinking may not).
+  for (std::uint32_t n = 0; n < s_.params.num_hosts; ++n) {
+    cluster_->host(n).set_alive(true);
+  }
   for (auto& f : filters_) f->clear();
   eng.run_for(millis(2));
   // 2. Flush: any channel with unacked or queued traffic gets its QP
@@ -411,6 +467,10 @@ void Runner::quiesce() {
       for (core::Channel* ch : ctxs_[n]->channels()) {
         if (ch->usable() &&
             (ch->inflight_msgs() > 0 || ch->queued_msgs() > 0)) {
+          // The flush kill is itself a silencing fault: from here on the
+          // victim's peer may legitimately probe into a void long enough
+          // to declare it dead, so oracle 11 stands down.
+          live_.set_silence_faults_injected(true);
           filters_[n]->kill_qp(*ch);
           dirty = true;
         }
@@ -571,6 +631,13 @@ void Runner::finish_report() {
     for (std::size_t k = 0; k < analysis::kNumFaultKinds; ++k) {
       rep_.faults_injected += f->injected(static_cast<analysis::FaultKind>(k));
     }
+  }
+  rep_.faults_injected += host_faults_;
+  for (auto& c : ctxs_) {
+    const auto& hs = c->health().stats();
+    rep_.dead_declarations += hs.dead_declarations;
+    rep_.breaker_opens += hs.breaker_opens;
+    rep_.health_flaps += hs.flaps;
   }
 
   std::uint64_t d = 0xcbf29ce484222325ULL;

@@ -5,8 +5,9 @@
 // One 64-bit seed expands into a Schedule — a randomized multi-node workload
 // (mixed eager / rendezvous / RPC traffic straddling the 4 KB cutoff and the
 // fragment boundaries, channel open/close churn) plus a randomized fault
-// schedule (drops, delays, QP kills, CM refusals) — which run_schedule()
-// executes on the simulated testbed while checking ten invariant oracles:
+// schedule (drops, delays, QP kills, CM refusals, host flaps) — which
+// run_schedule() executes on the simulated testbed while checking twelve
+// invariant oracles:
 //
 //   1. exactly-once in-order delivery per channel (content-verified)
 //   2. seq-ack window conservation (SEQ/ACKED/WTA/RTA edge relations)
@@ -18,6 +19,8 @@
 //   8. memcache occupancy within budget; control-plane reserve never starves
 //   9. control-plane progress (keepalive liveness) under any backlog
 //  10. no message both rejected by backpressure and delivered
+//  11. no false dead declaration while no host was ever silenced
+//  12. breaker consistency: no CM connect slips past a closed breaker gate
 //
 // A failing run prints its seed, dumps the schedule to a replay file
 // (re-runnable bit-for-bit with run_schedule(load_schedule(...))), and can
@@ -60,6 +63,12 @@ struct RunReport {
   std::uint64_t rpcs_completed = 0;
   std::uint64_t rpcs_failed = 0;  // timeouts / closed-channel aborts: legal
   std::uint64_t faults_injected = 0;
+  // Health-plane exercise counters (summed across all contexts): shape
+  // tests use these to prove a flap schedule actually drove the detector
+  // and breaker, not just that no oracle fired.
+  std::uint64_t dead_declarations = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t health_flaps = 0;
   std::uint64_t span_posts = 0;
   std::uint64_t span_delivers = 0;
   std::uint64_t oracle_observations = 0;

@@ -156,6 +156,22 @@ void LiveOracle::observe_channel(core::Channel& ch, Nanos now) {
                             static_cast<long long>(bound)));
     }
   }
+  // Oracle 9, fallback variant: a channel riding the TCP mock keeps the
+  // same liveness contract through the NOP exchange. Our own NOP tx
+  // refreshes last_tx constantly, so only receive-side proof counts here.
+  if (ch.state() == core::Channel::State::established && ch.mocked() &&
+      cfg.keepalive_intv > 0) {
+    const Nanos last_sign =
+        std::max(ch.last_rx_time(), ch.last_alive_time());
+    const Nanos bound = cfg.keepalive_intv + 2 * cfg.keepalive_timeout;
+    if (now - last_sign > bound) {
+      log_->add(now, strfmt("fallback-stream stall on channel %llu: no sign "
+                            "of life for %lld ns (bound %lld)",
+                            static_cast<unsigned long long>(ch.id()),
+                            static_cast<long long>(now - last_sign),
+                            static_cast<long long>(bound)));
+    }
+  }
 }
 
 void LiveOracle::observe(Nanos now) {
@@ -210,6 +226,31 @@ void LiveOracle::observe(Nanos now) {
                             static_cast<unsigned long long>(
                                 ctx->ctrl_cache().stats()
                                     .privileged_alloc_fails)));
+    }
+
+    // Oracle 11: without a silencing fault in the schedule (host_down, or
+    // drops that can exhaust the NIC retransmit budget), the health plane
+    // must never declare a peer dead — bounded delays, brownouts and
+    // corruption cannot mute a hardware-acked zero-byte keepalive.
+    if (!silence_faults_injected_ && !false_dead_reported_ &&
+        ctx->health().stats().dead_declarations > 0) {
+      false_dead_reported_ = true;
+      log_->add(now, strfmt("false dead declaration on node %u: %llu peers "
+                            "declared dead with no silencing fault injected",
+                            ctx->node(),
+                            static_cast<unsigned long long>(
+                                ctx->health().stats().dead_declarations)));
+    }
+    // Oracle 12: breaker consistency — no CM connect attempt ever passed a
+    // closed gate (the HealthMonitor counts them at the resume choke point).
+    if (!breaker_violation_reported_ &&
+        ctx->health().stats().breaker_violations > 0) {
+      breaker_violation_reported_ = true;
+      log_->add(now, strfmt("breaker violation on node %u: %llu CM connect "
+                            "attempts issued while the peer's gate was closed",
+                            ctx->node(),
+                            static_cast<unsigned long long>(
+                                ctx->health().stats().breaker_violations)));
     }
 
     for (core::Channel* ch : ctx->channels()) observe_channel(*ch, now);

@@ -16,6 +16,13 @@
 //      data-plane backlog is                       (LiveOracle, continuous)
 //  10. no message both delivered and rejected by backpressure
 //                                                  (harness quiesce checks)
+//  11. no false dead declaration: the health plane never declares a peer
+//      dead unless the schedule actually silenced a host (keepalive probes
+//      are hardware-acked, so drops/delays/brownouts under the configured
+//      bound cannot mute them)                     (LiveOracle, continuous)
+//  12. breaker consistency: once a peer is dead, no channel issues a CM
+//      connect attempt past the closed gate — only designated half-open
+//      probers re-admit the peer                   (LiveOracle, continuous)
 //
 // Continuous oracles run from the engine's post-event hook, i.e. at every
 // quiescent point between simulation events — the strongest observation
@@ -80,6 +87,15 @@ class LiveOracle {
   void attach(std::vector<core::Context*> contexts,
               std::vector<const rnic::Rnic*> nics, ViolationLog* log);
 
+  /// Oracle 11 precondition: the schedule injects faults that can silence a
+  /// peer at the transport level (host_down, or drops that can exhaust the
+  /// NIC retransmit budget), so dead declarations are legitimate — on every
+  /// node, since a silenced host cannot tell itself apart from a silenced
+  /// world.
+  void set_silence_faults_injected(bool injected) {
+    silence_faults_injected_ = injected;
+  }
+
   /// One observation pass. Cheap enough to run every few engine events.
   void observe(Nanos now);
 
@@ -99,6 +115,9 @@ class LiveOracle {
   // (node, channel id) -> high-water marks for monotonicity checks.
   std::map<std::pair<std::uint32_t, std::uint64_t>, ChanMark> marks_;
   bool rnr_reported_ = false;
+  bool silence_faults_injected_ = false;
+  bool false_dead_reported_ = false;
+  bool breaker_violation_reported_ = false;
   std::uint64_t observations_ = 0;
 };
 

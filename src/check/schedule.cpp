@@ -148,6 +148,27 @@ Schedule generate_schedule(std::uint64_t seed, ScheduleParams params) {
     }
     s.faults.push_back(f);
   }
+  if (params.flap_cycles > 0) {
+    // Flap shape: one victim host toggles down/up at a 50% duty cycle
+    // across the back stretch of the horizon. Down and up always come in
+    // pairs so quiesce starts from a fully-alive cluster.
+    const auto victim =
+        static_cast<std::uint8_t>(rng.next_below(params.num_hosts));
+    const Nanos start = params.horizon / 4;
+    const Nanos span = params.horizon * 5 / 8;
+    const Nanos segment = span / params.flap_cycles;
+    for (std::uint32_t i = 0; i < params.flap_cycles; ++i) {
+      FaultOp down;
+      down.at = start + static_cast<Nanos>(i) * segment;
+      down.kind = analysis::FaultKind::host_down;
+      down.node = victim;
+      s.faults.push_back(down);
+      FaultOp up = down;
+      up.at = down.at + segment / 2;
+      up.kind = analysis::FaultKind::host_up;
+      s.faults.push_back(up);
+    }
+  }
   std::stable_sort(s.faults.begin(), s.faults.end(),
                    [](const FaultOp& a, const FaultOp& b) {
                      return a.at < b.at;
@@ -166,7 +187,9 @@ std::string serialize_schedule(const Schedule& s) {
       << " window " << p.window_depth << " wrs " << p.max_outstanding_wrs
       << " mask " << p.trace_sample_mask << " frag " << p.frag_size
       << " txcap " << p.tx_queue_cap << " incast " << (p.incast ? 1 : 0)
-      << " membudget " << p.mem_budget_mb << "\n";
+      << " membudget " << p.mem_budget_mb << " flap " << p.flap_cycles
+      << " brownout " << p.brownout_delay_us << " adaptive "
+      << (p.health_adaptive ? 1 : 0) << "\n";
   for (const Op& op : s.ops) {
     out << "op " << op.at << " " << to_string(op.kind) << " "
         << unsigned{op.src} << " " << unsigned{op.dst} << " "
@@ -213,6 +236,9 @@ bool deserialize_schedule(const std::string& text, Schedule& out) {
         else if (key == "txcap") p.tx_queue_cap = static_cast<std::uint32_t>(value);
         else if (key == "incast") p.incast = value != 0;
         else if (key == "membudget") p.mem_budget_mb = static_cast<std::uint32_t>(value);
+        else if (key == "flap") p.flap_cycles = static_cast<std::uint32_t>(value);
+        else if (key == "brownout") p.brownout_delay_us = static_cast<std::uint32_t>(value);
+        else if (key == "adaptive") p.health_adaptive = value != 0;
         else return false;
       }
     } else if (word == "op") {

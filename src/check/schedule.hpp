@@ -78,6 +78,19 @@ struct ScheduleParams {
   // pulls and hard-pressure shedding are actually reachable. 0 = default
   // production-sized pools.
   std::uint32_t mem_budget_mb = 0;
+  // Health-plane shapes (PR 5). flap: pick one victim host and toggle it
+  // down/up this many times across the back 5/8 of the horizon (paired
+  // host_down/host_up faults, 50% duty cycle) — exercises dead declaration,
+  // the circuit breaker and flap hold-down. 0 = no host faults (the
+  // pre-existing shapes), which also arms oracle 11's no-false-dead check.
+  std::uint32_t flap_cycles = 0;
+  // brownout: persistent bounded ingress+egress delay (max this many µs) on
+  // every node for the whole run — latency inflation that must stay under
+  // the detector's floor (oracle 11). 0 = off.
+  std::uint32_t brownout_delay_us = 0;
+  // Run with the φ-accrual adaptive silence bound instead of the fixed
+  // keepalive_timeout.
+  bool health_adaptive = false;
 };
 
 struct Schedule {

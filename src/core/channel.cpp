@@ -457,6 +457,7 @@ void Channel::on_send_wc_control(std::uint16_t flags) {
   if (flags & kFlagAckOnly) ack_inflight_ = false;
   if (flags & kFlagNop) nop_inflight_ = false;
   if ((flags & kFlagFin) && state_ == State::closing) {
+    recovery_timer_->cancel();  // the FIN deadline
     state_ = State::closed;
     reclaim_windows();
     ctx_.channel_detach_qp(*this);  // before release_qp clears the QP num
@@ -553,6 +554,7 @@ void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
   }
 
   last_rx_ = ctx_.engine().now();
+  ctx_.health().note_proof_of_life(peer_);
 
   // Piggybacked cumulative ack (Algorithm 1 sender RECV_MESSAGE).
   swin_.process_ack(hdr.ack, [this](Seq, TxEntry& e) { free_tx_entry(e); });
@@ -879,9 +881,38 @@ void Channel::rpc_timeout_scan() {
 }
 
 void Channel::keepalive_fire() {
-  if (state_ != State::established || !qp_.valid()) return;
+  if (state_ != State::established) return;
   const Config& cfg = ctx_.config();
   const Nanos now = ctx_.engine().now();
+  // Silence past this means dead: the fixed keepalive_timeout, or the
+  // health plane's φ-accrual bound in adaptive mode.
+  const Nanos bound = ctx_.health().silence_bound(peer_);
+  const Nanos rearm = std::min(cfg.keepalive_intv, cfg.keepalive_timeout / 2);
+
+  if (mocked()) {
+    // Riding the TCP fallback: the RDMA-side last_alive_ is stale by
+    // construction, so it must never declare peer_dead here. Proof of
+    // life is the stream itself — our own NOPs keep the peer's rx fresh,
+    // the peer's NOPs keep ours.
+    const Nanos proof = std::max(last_rx_, last_alive_);
+    if (now - proof >= cfg.keepalive_intv + bound) {
+      // The fallback went silent too: no transport left. Drop the
+      // override first so handle_transport_fault cannot take its
+      // running-on-the-fallback shortcut.
+      ctx_.health().note_peer_dead(peer_, id_);
+      restoring_ = true;
+      ctx_.restore_fallback(*this);
+      restoring_ = false;
+      tx_override_ = nullptr;
+      handle_transport_fault(Errc::peer_dead);
+      return;
+    }
+    if (now - last_tx_ >= cfg.keepalive_intv) post_control(kFlagNop);
+    keepalive_timer_->arm_after(rearm);
+    return;
+  }
+
+  if (!qp_.valid()) return;
   const Nanos idle = now - std::max(last_tx_, last_rx_);
   if (idle < cfg.keepalive_intv) {
     // Activity since the probe was armed: push the deadline out (lazy
@@ -889,7 +920,13 @@ void Channel::keepalive_fire() {
     keepalive_timer_->arm_after(cfg.keepalive_intv - idle);
     return;
   }
-  if (keepalive_outstanding_ && now - last_alive_ >= cfg.keepalive_timeout) {
+  // Silence is judged from the oldest unanswered probe, not from the last
+  // completion: after a busy-with-data stretch (data WCs do not refresh
+  // last_alive_) the first probe starts the clock — a probe that has been
+  // in flight for less than the bound is still a question, not an answer.
+  if (keepalive_outstanding_ &&
+      now - std::max(last_alive_, keepalive_posted_) >= bound) {
+    ctx_.health().note_peer_dead(peer_, id_);
     handle_transport_fault(Errc::peer_dead);
     return;
   }
@@ -901,20 +938,35 @@ void Channel::keepalive_fire() {
   wr.opcode = verbs::Opcode::write;
   if (qp_.post_send(wr) == Errc::ok) {
     ++stats_.keepalive_probes;
+    if (!keepalive_outstanding_) keepalive_posted_ = now;
     keepalive_outstanding_ = true;
   } else {
     ctx_.release_wr(wr.wr_id);
   }
-  keepalive_timer_->arm_after(
-      std::min(cfg.keepalive_intv, cfg.keepalive_timeout / 2));
+  keepalive_timer_->arm_after(rearm);
 }
 
 void Channel::on_keepalive_wc(Errc status) {
   if (status == Errc::ok) {
     keepalive_outstanding_ = false;
-    last_alive_ = ctx_.engine().now();
-  } else {
+    const Nanos now = ctx_.engine().now();
+    if (keepalive_posted_ > 0) {
+      ctx_.health().note_probe_rtt(peer_, now - keepalive_posted_);
+      keepalive_posted_ = 0;
+    }
+    last_alive_ = now;
+    ctx_.health().note_proof_of_life(peer_);
+    return;
+  }
+  if (status == Errc::transport_retry_exceeded || status == Errc::timed_out) {
+    // The fabric exhausted its hardware retries on a zero-byte write that
+    // needs no receiver cooperation: genuine peer silence.
+    ctx_.health().note_peer_dead(peer_, id_);
     handle_transport_fault(Errc::peer_dead);
+  } else {
+    // Flushed along with a dying QP (e.g. a local kill): report the true
+    // cause instead of blaming the peer.
+    handle_transport_fault(status);
   }
 }
 
@@ -938,6 +990,10 @@ void Channel::close() {
   // RPCs now instead of letting them ride to their timeouts.
   abort_calls(Errc::channel_closed);
   post_control(kFlagFin);
+  // FIN deadline: nothing else watches a closing channel (keepalive stands
+  // down), so a FIN that dies with its QP — post failure or a lost WC —
+  // would otherwise park the channel in `closing` forever.
+  recovery_timer_->arm_after(ctx_.config().keepalive_timeout);
 }
 
 void Channel::abort_calls(Errc reason) {
@@ -982,6 +1038,9 @@ void Channel::handle_transport_fault(Errc reason) {
       ctx_.channel_detach_qp(*this);
       release_qp(/*recycle=*/true);
       peer_qp_ = rnic::kInvalidId;
+      // release_qp cancelled the keepalive timer, but it now watches the
+      // fallback stream: keep it running.
+      keepalive_timer_->arm_after(ctx_.config().keepalive_intv);
     }
     return;
   }
@@ -999,16 +1058,19 @@ void Channel::start_recovery(Errc reason) {
   recovery_reason_ = reason;
   recovery_started_ = ctx_.engine().now();
   recovery_attempt_ = 0;
-  // A keepalive-declared dead peer rarely comes back within the reconnect
-  // horizon, and each attempt burns the full CM timeout: halve the budget.
-  // Retryable transport faults (retry-exceeded, flush, resets) get it all.
-  recovery_budget_ =
-      reason == Errc::peer_dead
-          ? std::max<std::uint32_t>(1, cfg.recovery_max_attempts / 2)
-          : cfg.recovery_max_attempts;
+  // Flap detection first: a restore-then-fail cycle inside the flap window
+  // escalates the peer's hold-down.
+  ctx_.health().note_fault(peer_);
+  // Budget from the health plane's verdict, not the errc: a peer it already
+  // distrusts (suspect or worse — keepalive-declared silence lands here as
+  // `dead`) rarely comes back within the reconnect horizon, and each
+  // attempt burns the full CM timeout, so the budget is halved. First-strike
+  // faults against a healthy peer (retry-exceeded, flush, resets) get it all.
+  recovery_budget_ = ctx_.health().recovery_budget(peer_, cfg.recovery_max_attempts);
   ++stats_.recoveries_started;
   keepalive_timer_->cancel();
   keepalive_outstanding_ = false;
+  keepalive_posted_ = 0;
   ack_inflight_ = false;
   nop_inflight_ = false;
   // Abandon the dead QP: purge its registered WRs (their WCs are already
@@ -1036,6 +1098,15 @@ void Channel::schedule_recovery_attempt() {
     escalate_or_fail();
     return;
   }
+  // Circuit breaker: once the peer is declared dead, only the designated
+  // half-open probers keep their ladder; everyone else fails fast onto the
+  // fallback instead of burning CM timeouts.
+  if (!ctx_.health().may_attempt(peer_, id_)) {
+    ++stats_.breaker_fastfails;
+    ctx_.health().note_denied(peer_);
+    escalate_or_fail();
+    return;
+  }
   // Capped exponential backoff with +/-25% jitter so a fabric event does
   // not produce a synchronized reconnect storm.
   recovery_timer_->arm_after(
@@ -1044,10 +1115,27 @@ void Channel::schedule_recovery_attempt() {
 }
 
 void Channel::recovery_timer_fire() {
+  if (state_ == State::closing) {
+    // FIN deadline expired: the close was never confirmed. Tear down
+    // locally — the peer's end fails on its own silence watchdog.
+    fail(Errc::channel_closed);
+    return;
+  }
   if (state_ == State::recovering) {
     if (!connector_) {
       // Passive resume deadline expired: the peer never came back.
       fail(recovery_reason_);
+      return;
+    }
+    // Re-check the breaker at fire time, not just at schedule time: when a
+    // whole peer dies, every channel declares dead in the same scan and all
+    // of them pass the schedule-time gate before any prober has been
+    // designated. The first timer to fire claims the half-open slot inside
+    // initiate_resume; the rest must fail fast here.
+    if (!ctx_.health().may_attempt(peer_, id_)) {
+      ++stats_.breaker_fastfails;
+      ctx_.health().note_denied(peer_);
+      escalate_or_fail();
       return;
     }
     ++recovery_attempt_;
@@ -1057,7 +1145,14 @@ void Channel::recovery_timer_fire() {
     return;
   }
   if (state_ == State::established && mocked() && connector_) {
-    // Background RDMA probe while riding the fallback.
+    // Background RDMA probe while riding the fallback — also behind the
+    // breaker gate: parked channels re-check on the next probe tick.
+    if (!ctx_.health().may_attempt(peer_, id_)) {
+      ++stats_.breaker_fastfails;
+      ctx_.health().note_denied(peer_);
+      arm_rdma_probe();
+      return;
+    }
     ++stats_.recovery_attempts;
     resume_inflight_ = true;
     ctx_.initiate_resume(*this);
@@ -1117,7 +1212,14 @@ void Channel::resume_adopt(verbs::Qp qp, rnic::QpNum peer_qp, Seq peer_rta) {
   const Nanos now = ctx_.engine().now();
   last_tx_ = last_rx_ = last_alive_ = now;
   keepalive_outstanding_ = false;
+  keepalive_posted_ = 0;
   keepalive_timer_->arm_after(ctx_.config().keepalive_intv);
+
+  // The resume handshake is authoritative proof of life; if it was a
+  // half-open probe, the breaker closes and parked siblings get nudged.
+  if (ctx_.health().note_restored(peer_, was_mocked)) {
+    ctx_.nudge_peer_probes(peer_, id_);
+  }
 
   // A passive QP swap on a channel that never noticed the fault is not a
   // recovery; only count channels that were actually recovering (or being
@@ -1160,8 +1262,22 @@ void Channel::escalate_or_fail() {
 void Channel::arm_rdma_probe() {
   const Config& cfg = ctx_.config();
   if (!cfg.fallback_auto || !connector_) return;
+  // Flap suppression: a peer that keeps restore-then-failing sits on the
+  // fallback for its (exponentially escalating) hold-down before the next
+  // RDMA probe.
   recovery_timer_->arm_after(
-      std::max<Nanos>(millis(1), 16 * cfg.recovery_backoff));
+      std::max(std::max<Nanos>(millis(1), 16 * cfg.recovery_backoff),
+               ctx_.health().probe_holddown(peer_)));
+}
+
+void Channel::nudge_probe() {
+  // A sibling's half-open probe just re-admitted the peer: probe soon
+  // instead of waiting out the long probe timer (unless a flap hold-down
+  // says otherwise).
+  if (state_ != State::established || !mocked() || !connector_) return;
+  if (resume_inflight_) return;
+  recovery_timer_->arm_after(std::max(ctx_.config().recovery_backoff,
+                                      ctx_.health().probe_holddown(peer_)));
 }
 
 void Channel::on_fallback_attached() {
@@ -1169,7 +1285,13 @@ void Channel::on_fallback_attached() {
   state_ = State::established;
   recovery_timer_->cancel();
   const Nanos now = ctx_.engine().now();
-  last_tx_ = last_rx_ = now;
+  last_tx_ = last_rx_ = last_alive_ = now;
+  // The keepalive watches the fallback stream from here on (NOP exchange
+  // instead of zero-byte writes); without this re-arm a silently dying
+  // stream would never be noticed.
+  keepalive_outstanding_ = false;
+  keepalive_posted_ = 0;
+  keepalive_timer_->arm_after(ctx_.config().keepalive_intv);
   ++stats_.recoveries_completed;
   ++ctx_.stats().channels_recovered;
   if (recovery_started_ > 0) {
@@ -1207,6 +1329,7 @@ void Channel::defer_retransmit() {
 
 void Channel::retransmit_entry(Seq seq, TxEntry& e) {
   ++stats_.recovery_retransmits;
+  ctx_.health().note_retransmit(peer_);
   last_tx_ = ctx_.engine().now();
   WireHeader hdr = e.hdr;
   hdr.seq = seq;

@@ -219,6 +219,8 @@ class Channel {
   void rpc_timeout_scan();
   void keepalive_fire();
   void on_keepalive_wc(Errc status);
+  /// Breaker just closed for our peer: pull the next RDMA probe forward.
+  void nudge_probe();
   void on_qp_error(Errc reason);
   void post_bounce_buffers();
   void fail(Errc reason);
@@ -277,6 +279,7 @@ class Channel {
 
   std::unique_ptr<sim::DeadlineTimer> keepalive_timer_;
   bool keepalive_outstanding_ = false;
+  Nanos keepalive_posted_ = 0;  // post time of the outstanding probe (RTT)
   Nanos last_alive_ = 0;  // last hardware-level proof the peer RNIC lives
   Nanos last_tx_ = 0;
   Nanos last_rx_ = 0;

@@ -94,6 +94,51 @@ const std::map<std::string, OnlineParam>& online_params() {
       {"memcache_idle_shrink_ms",
        {[](const Config& c) { return c.memcache_idle_shrink / kNanosPerMilli; },
         [](Config& c, std::int64_t v) { c.memcache_idle_shrink = millis(v); }}},
+      {"health_adaptive",
+       {[](const Config& c) { return std::int64_t{c.health_adaptive}; },
+        [](Config& c, std::int64_t v) { c.health_adaptive = v != 0; }}},
+      {"health_phi_suspect",
+       {[](const Config& c) { return std::int64_t{c.health_phi_suspect}; },
+        [](Config& c, std::int64_t v) {
+          c.health_phi_suspect = static_cast<std::uint32_t>(v);
+        }}},
+      {"health_phi_dead",
+       {[](const Config& c) { return std::int64_t{c.health_phi_dead}; },
+        [](Config& c, std::int64_t v) {
+          c.health_phi_dead = static_cast<std::uint32_t>(v);
+        }}},
+      {"health_min_samples",
+       {[](const Config& c) { return std::int64_t{c.health_min_samples}; },
+        [](Config& c, std::int64_t v) {
+          c.health_min_samples = static_cast<std::uint32_t>(v);
+        }}},
+      {"health_breaker",
+       {[](const Config& c) { return std::int64_t{c.health_breaker}; },
+        [](Config& c, std::int64_t v) { c.health_breaker = v != 0; }}},
+      {"health_halfopen_probes",
+       {[](const Config& c) { return std::int64_t{c.health_halfopen_probes}; },
+        [](Config& c, std::int64_t v) {
+          c.health_halfopen_probes = static_cast<std::uint32_t>(v);
+        }}},
+      {"health_flap_window_ms",
+       {[](const Config& c) { return c.health_flap_window / kNanosPerMilli; },
+        [](Config& c, std::int64_t v) { c.health_flap_window = millis(v); }}},
+      {"health_holddown_base_ms",
+       {[](const Config& c) { return c.health_holddown_base / kNanosPerMilli; },
+        [](Config& c, std::int64_t v) { c.health_holddown_base = millis(v); }}},
+      {"health_holddown_max_ms",
+       {[](const Config& c) { return c.health_holddown_max / kNanosPerMilli; },
+        [](Config& c, std::int64_t v) { c.health_holddown_max = millis(v); }}},
+      {"health_degraded_rtt_x",
+       {[](const Config& c) { return std::int64_t{c.health_degraded_rtt_x}; },
+        [](Config& c, std::int64_t v) {
+          c.health_degraded_rtt_x = static_cast<std::uint32_t>(v);
+        }}},
+      {"health_retx_degraded",
+       {[](const Config& c) { return std::int64_t{c.health_retx_degraded}; },
+        [](Config& c, std::int64_t v) {
+          c.health_retx_degraded = static_cast<std::uint32_t>(v);
+        }}},
   };
   return params;
 }

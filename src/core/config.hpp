@@ -37,6 +37,32 @@ struct Config {
   // TCP fallback when a fallback provider is installed.
   bool fallback_auto = true;
 
+  // ---- Peer health plane (all online; see README "Health plane") ----
+  // φ-accrual silence bound instead of the fixed keepalive_timeout cliff.
+  // Off by default: fixed mode is the drop-in-compatible Table III behavior.
+  bool health_adaptive = false;
+  // φ thresholds (φ = -log10 P(the peer is merely late)). suspect gates the
+  // halved recovery budget; dead sizes the adaptive silence bound.
+  std::uint32_t health_phi_suspect = 2;
+  std::uint32_t health_phi_dead = 8;
+  // Proof-of-life interval samples required before the adaptive bound is
+  // trusted; below this the fixed keepalive_timeout applies.
+  std::uint32_t health_min_samples = 8;
+  // Circuit breaker: once a peer is declared dead, only this many designated
+  // half-open probe channels may issue CM connect attempts; every other
+  // channel to the peer skips its retry ladder (fallback/parked).
+  bool health_breaker = true;
+  std::uint32_t health_halfopen_probes = 1;
+  // Flap suppression: a restore-then-fail cycle inside this window counts as
+  // a flap and escalates the per-peer hold-down (base << level, capped).
+  Nanos health_flap_window = millis(1000);
+  Nanos health_holddown_base = millis(50);
+  Nanos health_holddown_max = millis(2000);
+  // Degraded detectors: probe-RTT short/long EWMA inflation factor, and
+  // retransmits per evaluation scan.
+  std::uint32_t health_degraded_rtt_x = 4;
+  std::uint32_t health_retx_degraded = 32;
+
   // ---- Offline (Table III) ----
   bool use_srq = false;
   std::uint32_t cq_size = 8192;

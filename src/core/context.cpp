@@ -60,6 +60,7 @@ Context::Context(rnic::Rnic& nic, verbs::cm::CmService& cm, Config config)
       cm_(cm),
       cfg_(config),
       registry_(cfg_),
+      health_(nic.engine(), cfg_),
       pd_(nic),
       send_cq_(pd_.create_cq(cfg_.cq_size)),
       recv_cq_(pd_.create_cq(cfg_.cq_size)),
@@ -221,6 +222,7 @@ Channel* Context::adopt_established(verbs::cm::Established est, bool connector,
   by_id_[id] = raw;
   if (token != 0) by_token_[token] = raw;
   ++stats_.channels_opened;
+  health_.register_channel(est.peer_node);
   raw->init_established();
   return raw;
 }
@@ -228,6 +230,7 @@ Channel* Context::adopt_established(verbs::cm::Established est, bool connector,
 void Context::channel_closed(Channel& ch) {
   by_qp_.erase(ch.qp_num());
   if (ch.conn_token_ != 0) by_token_.erase(ch.conn_token_);
+  health_.unregister_channel(ch.peer_node(), ch.id());
   ++stats_.channels_closed;
   // The object stays alive (the application may hold a pointer); only the
   // routing entries go away. by_id_ survives for in-flight callbacks.
@@ -258,8 +261,13 @@ void Context::initiate_resume(Channel& ch) {
   opts.reuse_qp = qp_cache_.take();
   const std::optional<rnic::QpNum> reused = opts.reuse_qp;
   const std::uint64_t id = ch.id();
+  const net::NodeId peer = ch.peer_node();
+  // Single CM choke point for resume traffic: the health plane's breaker
+  // accounting (oracle 12) sees every attempt actually issued.
+  health_.note_attempt(peer, id);
   cm_.connect(nic_, ch.peer_node(), ch.connect_port_, std::move(opts),
-              [this, id, reused](Result<verbs::cm::Established> r) {
+              [this, id, peer, reused](Result<verbs::cm::Established> r) {
+                health_.note_attempt_done(peer, id);
                 Channel* ch = channel_by_id(id);
                 // The channel may have been failed/closed, or may already be
                 // running on the fallback, while the handshake was in flight.
@@ -321,6 +329,13 @@ void Context::restore_fallback(Channel& ch) {
     fallback_restore_(ch);
   } else {
     ch.set_tx_override(nullptr);
+  }
+}
+
+void Context::nudge_peer_probes(net::NodeId peer, std::uint64_t except_id) {
+  for (auto& ch : channels_) {
+    if (ch->peer_node() != peer || ch->id() == except_id) continue;
+    ch->nudge_probe();
   }
 }
 
@@ -581,6 +596,9 @@ void Context::scan_tick() {
     // cleared elsewhere): sweep the edge here.
     ch->maybe_fire_writable();
   }
+  // Refresh per-peer health verdicts (suspect/degraded transitions, flap
+  // hold-down decay) at the same cadence as the deadlock scan.
+  health_.evaluate(engine().now());
   // Periodically reclaim idle memory-cache MRs (§IV-E: "if the resource
   // utilization becomes lower, it will shrink its capacity").
   if (cfg_.memcache_shrink_period > 0 &&

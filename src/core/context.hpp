@@ -26,6 +26,7 @@
 #include "core/channel.hpp"
 #include "core/config.hpp"
 #include "core/fd.hpp"
+#include "core/health.hpp"
 #include "core/memcache.hpp"
 #include "core/qp_cache.hpp"
 #include "core/span.hpp"
@@ -115,6 +116,10 @@ class Context {
   sim::Engine& engine() const { return nic_.engine(); }
   net::NodeId node() const { return nic_.node(); }
   ContextStats& stats() { return stats_; }
+  /// Peer health plane (φ-accrual suspicion, circuit breaker, flap
+  /// hold-down) fed by every channel to the same remote node.
+  HealthMonitor& health() { return health_; }
+  const HealthMonitor& health() const { return health_; }
   MemCache& ctrl_cache() { return ctrl_cache_; }
   MemCache& data_cache() { return data_cache_; }
   QpCache& qp_cache() { return qp_cache_; }
@@ -230,6 +235,10 @@ class Context {
   /// Detach `ch` from the alternate transport (restore hook or plain
   /// tx_override clear).
   void restore_fallback(Channel& ch);
+  /// A half-open probe just re-admitted `peer` (breaker closed): wake the
+  /// sibling channels parked on the fallback so they re-probe promptly
+  /// instead of waiting out their long RDMA probe timers.
+  void nudge_peer_probes(net::NodeId peer, std::uint64_t except_id);
 
   void scan_tick();  // deadlock NOPs, RPC timeouts
   void poll_loop_step();
@@ -246,6 +255,7 @@ class Context {
   verbs::cm::CmService& cm_;
   Config cfg_;
   ConfigRegistry registry_;
+  HealthMonitor health_;
 
   verbs::Pd pd_;
   verbs::Cq send_cq_;

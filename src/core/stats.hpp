@@ -47,6 +47,23 @@ struct ChannelStats {
   std::uint64_t tx_mem_deferrals = 0; // emits/retransmits parked on alloc fail
   std::uint64_t ctrl_alloc_failures = 0;  // control plane hit an empty pool
   std::uint64_t tx_shed = 0;          // sends shed under hard mem pressure
+  // Health plane.
+  std::uint64_t breaker_fastfails = 0;  // retry ladders skipped (breaker open)
+};
+
+/// Context-wide health-plane counters (aggregated across peers by the
+/// HealthMonitor; X-Check oracles 11/12 read these).
+struct HealthStats {
+  std::uint64_t dead_declarations = 0;  // peers declared dead (breaker opens)
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t connects_allowed = 0;   // CM attempts admitted by the gate
+  std::uint64_t connects_denied = 0;    // ladders cut short by an open breaker
+  std::uint64_t breaker_violations = 0; // attempts issued past a closed gate
+  std::uint64_t flaps = 0;              // restore-then-fail inside flap window
+  std::uint64_t holddown_escalations = 0;
+  std::uint64_t suspect_transitions = 0;
+  std::uint64_t degraded_transitions = 0;
 };
 
 struct ContextStats {

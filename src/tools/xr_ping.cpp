@@ -1,9 +1,13 @@
 #include "tools/xr_ping.hpp"
 
+#include <cstdio>
 #include <memory>
+#include <set>
 #include <sstream>
 
+#include "analysis/metrics.hpp"
 #include "common/logging.hpp"
+#include "core/health.hpp"
 
 namespace xrdma::tools {
 
@@ -105,6 +109,41 @@ void xr_ping_mesh(std::vector<core::Context*> contexts, XrPingOptions opts,
       });
     }
   }
+}
+
+std::string xr_ping_health(analysis::ContextMetrics& metrics) {
+  analysis::MetricsRegistry& reg = metrics.registry();
+  // Discover the peer set from the registry's own namespace so the table
+  // can be rendered from any snapshot, not just a live Context.
+  std::set<unsigned> peers;
+  for (const std::string& name : reg.names()) {
+    unsigned peer = 0;
+    if (std::sscanf(name.c_str(), "health.peer.%u.", &peer) == 1) {
+      peers.insert(peer);
+    }
+  }
+  std::ostringstream os;
+  os << strfmt("node %u peer health:\n", metrics.context().node());
+  os << strfmt("%-6s %-9s %8s %10s %11s %11s %6s %9s %5s\n", "peer", "state",
+               "phi", "bound_us", "rtt_p50_us", "rtt_p99_us", "flaps",
+               "holddown", "chans");
+  for (const unsigned peer : peers) {
+    const std::string p = strfmt("health.peer.%u.", peer);
+    const auto state =
+        static_cast<core::PeerState>(static_cast<int>(reg.value(p + "state")));
+    os << strfmt("%-6u %-9s %8.2f %10.1f %11.1f %11.1f %6.0f %9.0f %5.0f\n",
+                 peer, core::to_string(state), reg.value(p + "phi"),
+                 reg.value(p + "bound_us"), reg.value(p + "rtt_p50_us"),
+                 reg.value(p + "rtt_p99_us"), reg.value(p + "flaps"),
+                 reg.value(p + "holddown_level"), reg.value(p + "channels"));
+  }
+  os << strfmt("  peers=%.0f dead=%.0f breakers_open=%.0f denied=%.0f "
+               "flaps=%.0f\n",
+               reg.value("health.peers"), reg.value("health.peers_dead"),
+               reg.value("health.breakers_open"),
+               reg.value("health.connects_denied"),
+               reg.value("health.flaps"));
+  return os.str();
 }
 
 }  // namespace xrdma::tools

@@ -7,9 +7,14 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/context.hpp"
+
+namespace xrdma::analysis {
+class ContextMetrics;
+}
 
 namespace xrdma::tools {
 
@@ -34,5 +39,12 @@ struct XrPingOptions {
 /// polling loops started).
 void xr_ping_mesh(std::vector<core::Context*> contexts, XrPingOptions opts,
                   std::function<void(PingMatrix)> done);
+
+/// --watch view: one row per known peer with the health plane's verdict
+/// (state, φ, effective silence bound, probe-RTT p50/p99, flap count,
+/// hold-down level). Reads exclusively through the metrics registry — the
+/// same names ("health.peer.<node>.*") the Monitor samples — so a remote
+/// watcher with only a registry snapshot renders the identical table.
+std::string xr_ping_health(analysis::ContextMetrics& metrics);
 
 }  // namespace xrdma::tools

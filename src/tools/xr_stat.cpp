@@ -104,6 +104,18 @@ std::string xr_stat_summary(core::Context& ctx) {
                static_cast<unsigned long long>(ctrl.reserve_denials +
                                                data.reserve_denials),
                static_cast<unsigned long long>(ctrl.privileged_alloc_fails));
+  const auto& hs = ctx.health().stats();
+  os << strfmt("  health: dead=%llu breaker_open=%llu/closed=%llu "
+               "denied=%llu flaps=%llu holddown_escal=%llu suspect=%llu "
+               "degraded=%llu\n",
+               static_cast<unsigned long long>(hs.dead_declarations),
+               static_cast<unsigned long long>(hs.breaker_opens),
+               static_cast<unsigned long long>(hs.breaker_closes),
+               static_cast<unsigned long long>(hs.connects_denied),
+               static_cast<unsigned long long>(hs.flaps),
+               static_cast<unsigned long long>(hs.holddown_escalations),
+               static_cast<unsigned long long>(hs.suspect_transitions),
+               static_cast<unsigned long long>(hs.degraded_transitions));
   os << strfmt("  qp_cache: size=%zu hits=%llu misses=%llu\n",
                ctx.qp_cache().size(),
                static_cast<unsigned long long>(ctx.qp_cache().hits()),

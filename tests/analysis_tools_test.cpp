@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/clock_sync.hpp"
+#include "analysis/metrics.hpp"
 #include "analysis/mock.hpp"
 #include "analysis/monitor.hpp"
 #include "core/context.hpp"
@@ -271,6 +272,32 @@ TEST(XrPing, MeshMatrixFindsDeadHost) {
   EXPECT_LT(matrix.rtt[3][0], 0);
   EXPECT_EQ(matrix.unreachable_count(), 6);
   EXPECT_NE(matrix.render().find("FAIL"), std::string::npos);
+}
+
+TEST(XrPing, HealthViewRendersPerPeerVerdicts) {
+  Pair t;
+  t.establish();
+  t.server_ch->set_on_msg([](Channel&, Msg&&) {});
+  t.client_ch->send_msg(Buffer::make(64));
+  t.run(millis(60));  // several keepalive rounds: probe RTTs accumulate
+
+  analysis::ContextMetrics metrics(t.client);
+  metrics.refresh();
+  // The registry carries both the aggregate counters and the per-peer
+  // gauge namespace the --watch view reads.
+  EXPECT_TRUE(metrics.registry().has("health.dead_declarations"));
+  EXPECT_TRUE(metrics.registry().has("health.peer.1.phi"));
+  EXPECT_TRUE(metrics.registry().has("health.peer.1.state"));
+
+  const std::string view = tools::xr_ping_health(metrics);
+  EXPECT_NE(view.find("peer health"), std::string::npos);
+  EXPECT_NE(view.find("healthy"), std::string::npos);  // the one peer's state
+  EXPECT_NE(view.find("peers=1"), std::string::npos);
+  EXPECT_NE(view.find("dead=0"), std::string::npos);
+
+  // xr_stat's summary carries the same counters for the non-watch path.
+  const std::string summary = tools::xr_stat_summary(t.client);
+  EXPECT_NE(summary.find("health:"), std::string::npos);
 }
 
 TEST(XrPerf, PingPongReportsLatencyHistogram) {
