@@ -1,0 +1,119 @@
+#include "analysis/exposition.hpp"
+
+#include <cctype>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace xrdma::analysis {
+
+namespace {
+
+// Splits the per-peer infix out of a dotted name: "health.peer.3.phi"
+// -> family "health.peer.phi", label peer="3". Returns false when the name
+// has no `.peer.<digits>.` infix.
+bool split_peer(const std::string& name, std::string& family,
+                std::string& peer) {
+  const std::string infix = ".peer.";
+  const auto pos = name.find(infix);
+  if (pos == std::string::npos) return false;
+  std::size_t i = pos + infix.size();
+  std::size_t digits = 0;
+  while (i + digits < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[i + digits]))) {
+    ++digits;
+  }
+  if (digits == 0 || i + digits >= name.size() || name[i + digits] != '.') {
+    return false;
+  }
+  peer = name.substr(i, digits);
+  family = name.substr(0, pos + infix.size() - 1) +
+           name.substr(i + digits);  // keep "peer", drop ".<N>"
+  return true;
+}
+
+std::string mangle(const std::string& dotted) {
+  std::string out = "xrdma_";
+  out.reserve(out.size() + dotted.size());
+  for (char c : dotted) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+struct Sample {
+  std::string labels;  // "" or "{peer=\"3\"}"
+  std::string value;
+};
+
+struct Family {
+  const char* type = "counter";
+  std::vector<Sample> samples;
+};
+
+std::string format_gauge(double v) {
+  std::string s = strfmt("%.9g", v);
+  return s;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string family, peer;
+  if (split_peer(name, family, peer)) return mangle(family);
+  return mangle(name);
+}
+
+std::string prometheus_render(const MetricsRegistry& registry) {
+  // Collect into families first: the per-peer gauges of one name must land
+  // under a single # TYPE header even though the registry stores them as
+  // separate dotted entries.
+  std::map<std::string, Family> families;
+
+  for (const auto& [name, v] : registry.counters()) {
+    Family& f = families[prometheus_name(name)];
+    f.type = "counter";
+    f.samples.push_back(
+        {"", strfmt("%llu", static_cast<unsigned long long>(v))});
+  }
+  for (const auto& [name, v] : registry.gauges()) {
+    std::string base, peer;
+    std::string labels;
+    if (split_peer(name, base, peer)) labels = "{peer=\"" + peer + "\"}";
+    Family& f = families[prometheus_name(name)];
+    f.type = "gauge";
+    f.samples.push_back({std::move(labels), format_gauge(v)});
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    Family& f = families[mangle(name)];
+    f.type = "summary";
+    for (double q : {0.5, 0.9, 0.99, 1.0}) {
+      const std::int64_t v =
+          q >= 1.0 ? h.max() : (h.count() ? h.percentile(q * 100.0) : 0);
+      f.samples.push_back({strfmt("{quantile=\"%g\"}", q),
+                           strfmt("%lld", static_cast<long long>(v))});
+    }
+  }
+
+  std::string out;
+  for (const auto& [fname, fam] : families) {
+    out += strfmt("# TYPE %s %s\n", fname.c_str(), fam.type);
+    for (const Sample& s : fam.samples) {
+      out += fname + s.labels + " " + s.value + "\n";
+    }
+    // A summary's _count rides outside the family samples (it has the
+    // family name plus a suffix, so it cannot share the sample loop).
+    if (fam.type == std::string("summary")) {
+      for (const auto& [name, h] : registry.histograms()) {
+        if (mangle(name) == fname) {
+          out += strfmt("%s_count %llu\n", fname.c_str(),
+                        static_cast<unsigned long long>(h.count()));
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xrdma::analysis

@@ -1,0 +1,33 @@
+// Prometheus-style text exposition of a MetricsRegistry (§VI-B: the
+// monitoring plane a production deployment scrapes).
+//
+// Every registry name follows the dotted `<plane>.<name>` convention (see
+// metrics.hpp); the exposition mangles dots to underscores under an
+// `xrdma_` prefix, and folds the per-peer `<plane>.peer.<node>.<name>`
+// gauges into one family per name with a `peer` label:
+//
+//     health.dead_declarations      -> xrdma_health_dead_declarations
+//     health.peer.3.phi             -> xrdma_health_peer_phi{peer="3"}
+//     ctx.rpc_latency (histogram)   -> xrdma_ctx_rpc_latency{quantile="0.5"}
+//                                      ... _count
+//
+// The output is deterministic (families sorted by name, samples by label)
+// so tests can lock the exact format.
+#pragma once
+
+#include <string>
+
+#include "analysis/metrics.hpp"
+
+namespace xrdma::analysis {
+
+/// `xrdma_` + name with dots mangled to underscores; the per-peer infix
+/// `peer.<node>.` is lifted out (the caller renders it as a label).
+std::string prometheus_name(const std::string& name);
+
+/// Full text exposition: `# TYPE` line per family, then its samples.
+/// Counters render as integers, gauges with up to 9 significant digits,
+/// histograms as summaries (quantile 0.5/0.9/0.99/1 plus _count).
+std::string prometheus_render(const MetricsRegistry& registry);
+
+}  // namespace xrdma::analysis

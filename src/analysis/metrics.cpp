@@ -145,22 +145,24 @@ void ContextMetrics::refresh() {
   reg_.counter("chan.egress_drops") = agg.egress_drops;
   reg_.counter("chan.mock_tx") = agg.mock_tx;
   reg_.counter("chan.dup_msgs_rx") = agg.dup_msgs_rx;
-  reg_.counter("chan.recoveries_started") = agg.recoveries_started;
-  reg_.counter("chan.recovery_attempts") = agg.recovery_attempts;
-  reg_.counter("chan.recoveries_completed") = agg.recoveries_completed;
-  reg_.counter("chan.recovery_retransmits") = agg.recovery_retransmits;
-  reg_.counter("chan.fallback_switches") = agg.fallback_switches;
-  reg_.counter("chan.fallback_restores") = agg.fallback_restores;
   reg_.counter("chan.rpc_aborts") = agg.rpc_aborts;
-  reg_.counter("chan.tx_would_block") = agg.tx_would_block;
-  reg_.counter("chan.writable_signals") = agg.writable_signals;
-  reg_.counter("chan.naks_tx") = agg.naks_tx;
-  reg_.counter("chan.naks_rx") = agg.naks_rx;
-  reg_.counter("chan.pulls_deferred") = agg.pulls_deferred;
-  reg_.counter("chan.tx_mem_deferrals") = agg.tx_mem_deferrals;
-  reg_.counter("chan.ctrl_alloc_failures") = agg.ctrl_alloc_failures;
-  reg_.counter("chan.tx_shed") = agg.tx_shed;
-  reg_.counter("chan.breaker_fastfails") = agg.breaker_fastfails;
+  // Recovery plane (retry ladder + TCP fallback).
+  reg_.counter("recovery.started") = agg.recoveries_started;
+  reg_.counter("recovery.attempts") = agg.recovery_attempts;
+  reg_.counter("recovery.completed") = agg.recoveries_completed;
+  reg_.counter("recovery.retransmits") = agg.recovery_retransmits;
+  reg_.counter("recovery.fallback_switches") = agg.fallback_switches;
+  reg_.counter("recovery.fallback_restores") = agg.fallback_restores;
+  // Overload plane (backpressure + shedding).
+  reg_.counter("overload.tx_would_block") = agg.tx_would_block;
+  reg_.counter("overload.writable_signals") = agg.writable_signals;
+  reg_.counter("overload.naks_tx") = agg.naks_tx;
+  reg_.counter("overload.naks_rx") = agg.naks_rx;
+  reg_.counter("overload.pulls_deferred") = agg.pulls_deferred;
+  reg_.counter("overload.tx_mem_deferrals") = agg.tx_mem_deferrals;
+  reg_.counter("overload.ctrl_alloc_failures") = agg.ctrl_alloc_failures;
+  reg_.counter("overload.tx_shed") = agg.tx_shed;
+  reg_.counter("health.breaker_fastfails") = agg.breaker_fastfails;
   reg_.gauge("chan.established") = static_cast<double>(established);
   reg_.gauge("chan.inflight") = static_cast<double>(inflight);
   reg_.gauge("chan.queued") = static_cast<double>(queued);
@@ -169,6 +171,7 @@ void ContextMetrics::refresh() {
   reg_.counter("ctx.polls") = cs.polls;
   reg_.counter("ctx.empty_polls") = cs.empty_polls;
   reg_.counter("ctx.slow_polls") = cs.slow_polls;
+  reg_.counter("ctx.watchdog_trips") = cs.watchdog_trips;
   reg_.counter("ctx.events_processed") = cs.events_processed;
   reg_.counter("ctx.parks") = cs.parks;
   reg_.counter("ctx.wakeups") = cs.wakeups;
@@ -176,15 +179,15 @@ void ContextMetrics::refresh() {
   reg_.counter("ctx.channels_closed") = cs.channels_closed;
   reg_.counter("ctx.channel_errors") = cs.channel_errors;
   reg_.counter("ctx.channels_recovered") = cs.channels_recovered;
-  reg_.counter("ctx.pressure_soft_events") = cs.pressure_soft_events;
-  reg_.counter("ctx.pressure_hard_events") = cs.pressure_hard_events;
-  reg_.gauge("ctx.queued_tx_bytes") =
+  reg_.counter("overload.pressure_soft_events") = cs.pressure_soft_events;
+  reg_.counter("overload.pressure_hard_events") = cs.pressure_hard_events;
+  reg_.gauge("overload.queued_tx_bytes") =
       static_cast<double>(ctx_.queued_tx_bytes());
-  reg_.gauge("ctx.mem_pressure") =
+  reg_.gauge("overload.mem_pressure") =
       static_cast<double>(static_cast<int>(ctx_.mem_pressure()));
   reg_.gauge("ctx.worst_poll_gap_us") = to_micros(cs.worst_poll_gap);
   reg_.histogram("ctx.rpc_latency") = cs.rpc_latency;
-  reg_.histogram("ctx.recovery_latency") = cs.recovery_latency;
+  reg_.histogram("recovery.latency") = cs.recovery_latency;
 
   const auto& ctrl = ctx_.ctrl_cache().stats();
   const auto& data = ctx_.data_cache().stats();

@@ -11,8 +11,16 @@
 //
 // ContextMetrics bridges a core::Context into a registry: it aggregates
 // ChannelStats across all channels plus the ContextStats counters under
-// stable names ("chan.msgs_tx", "ctx.slow_polls", ...), refreshing at most
-// once per simulated timestamp so many samplers can share one bridge.
+// stable names, refreshing at most once per simulated timestamp so many
+// samplers can share one bridge.
+//
+// Naming convention (locked by analysis_exposition_test): every metric is
+// `<plane>.<name>` with an optional `<plane>.peer.<node>.<name>` per-peer
+// form. Planes: `chan` (data-path aggregates), `ctx` (poll loop + lifecycle),
+// `recovery` (retry ladder + fallback), `overload` (backpressure + shedding),
+// `mem` (MR pools), `health` (failure detector + breaker). Names are
+// lowercase [a-z0-9_]; gauges carry a unit suffix (_us, _mb, _bytes) when
+// the unit is not obvious.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +62,16 @@ class MetricsRegistry {
   /// Human-readable dump: scalars one per line, then histogram summaries.
   std::string render() const;
   void reset();
+
+  /// Typed read-only views (the Prometheus exposition needs to tell
+  /// counters from gauges to emit the right # TYPE line).
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
  private:
   std::map<std::string, std::uint64_t> counters_;

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "analysis/filter.hpp"
+#include "analysis/recorder.hpp"
 #include "check/oracles.hpp"
 #include "common/logging.hpp"
 #include "core/context.hpp"
@@ -689,6 +690,37 @@ void Runner::finish_report() {
       }
     }
   }
+
+  // Flight-recorder post-mortem: on an oracle failure the rings hold the
+  // decisions that led there — mark the trigger and flush them. The cut is
+  // deterministic (sim-time payloads only), so capture_dumps also feeds
+  // the bit-identical-replay test on passing runs.
+  if (opt_.capture_dumps || (!rep_.passed() && !opt_.dump_dir.empty())) {
+    for (auto& c : ctxs_) {
+      if (!rep_.passed()) {
+        c->trigger_dump(analysis::TrigReason::oracle_failure);
+      }
+      const analysis::Dump dump = analysis::snapshot_dump(
+          *c, rep_.passed() ? "capture" : "oracle_failure");
+      if (opt_.capture_dumps) {
+        rep_.dumps.push_back(analysis::encode_xrd(dump));
+      }
+      if (!rep_.passed() && !opt_.dump_dir.empty()) {
+        const std::string path =
+            strfmt("%s/xcheck-seed%llu.node%u.xrd", opt_.dump_dir.c_str(),
+                   static_cast<unsigned long long>(rep_.seed), c->node());
+        if (analysis::write_xrd_file(path, dump)) {
+          if (opt_.verbose) {
+            std::fprintf(stderr, "[xcheck]   flight dump: %s\n",
+                         path.c_str());
+          }
+        } else if (opt_.verbose) {
+          std::fprintf(stderr, "[xcheck]   could not write flight dump %s\n",
+                       path.c_str());
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -710,6 +742,8 @@ ShrinkResult shrink_schedule(const Schedule& s, const RunOptions& opt,
   RunOptions quiet = opt;
   quiet.verbose = false;
   quiet.replay_path.clear();
+  quiet.dump_dir.clear();
+  quiet.capture_dumps = false;
 
   res.still_fails = !run_schedule(res.minimized, quiet).passed();
   ++res.runs;

@@ -44,6 +44,15 @@ struct RunOptions {
   std::uint32_t probe_stride = 16;
   /// On failure, dump the schedule here for replay ("" = don't).
   std::string replay_path;
+  /// On failure, flush each context's flight-recorder ring to
+  /// `<dump_dir>/xcheck-seed<seed>.node<N>.xrd` ("" = don't). The triage
+  /// workflow: load the dump with tools::xr_triage_file alongside the
+  /// replay file.
+  std::string dump_dir;
+  /// Capture each context's encoded `.xrd` dump into RunReport::dumps,
+  /// pass or fail — the same-seed bit-identical determinism test compares
+  /// these across replays.
+  bool capture_dumps = false;
   /// Print seed + violations to stderr on failure.
   bool verbose = true;
 };
@@ -74,6 +83,10 @@ struct RunReport {
   std::uint64_t oracle_observations = 0;
   std::uint64_t events = 0;
   Nanos end_time = 0;
+  /// Encoded per-context `.xrd` dumps (RunOptions::capture_dumps). Records
+  /// carry only sim time and deterministic payloads, so two runs of one
+  /// schedule must produce byte-identical entries here.
+  std::vector<std::vector<std::uint8_t>> dumps;
   bool passed() const { return violations == 0; }
 };
 

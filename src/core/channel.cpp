@@ -34,6 +34,19 @@ Channel::~Channel() {
   }
 }
 
+void Channel::record(analysis::RecEvent ev, std::uint16_t code,
+                     std::uint64_t a, std::uint64_t b) {
+  ctx_.recorder().log(ctx_.engine().now(), ev, code,
+                      static_cast<std::uint32_t>(id_), a, b);
+}
+
+void Channel::set_state(State next, Errc why) {
+  if (next == state_) return;
+  record(analysis::RecEvent::chan_state, static_cast<std::uint16_t>(next),
+         static_cast<std::uint64_t>(state_), static_cast<std::uint64_t>(why));
+  state_ = next;
+}
+
 void Channel::init_established() {
   const Nanos now = ctx_.engine().now();
   last_tx_ = last_rx_ = last_alive_ = now;
@@ -109,6 +122,7 @@ Errc Channel::enqueue(std::uint16_t flags, std::uint64_t rpc_id,
     ++stats_.tx_shed;
     ++stats_.tx_would_block;
     tx_blocked_ = true;
+    record(analysis::RecEvent::overload_shed, 0, len);
     return Errc::would_block;
   }
   // Bounded queue: past either cap the caller must wait for on_writable.
@@ -117,6 +131,8 @@ Errc Channel::enqueue(std::uint16_t flags, std::uint64_t rpc_id,
   if (!pending_tx_.empty() && tx_cap_reached(len)) {
     ++stats_.tx_would_block;
     tx_blocked_ = true;
+    record(analysis::RecEvent::overload_would_block, 0, len,
+           pending_tx_bytes_);
     return Errc::would_block;
   }
   PendingSend p;
@@ -184,6 +200,8 @@ void Channel::pump_tx() {
       // Memory exhausted: leave the message queued and retry on the timer
       // (graceful degradation — the pool drains as acks retire entries).
       ++stats_.tx_mem_deferrals;
+      record(analysis::RecEvent::overload_mem_defer, 0,
+             pending_tx_.size());
       arm_mem_retry();
       break;
     }
@@ -272,6 +290,9 @@ bool Channel::emit_data(PendingSend& p) {
   ++stats_.msgs_tx;
   stats_.bytes_tx += len;
   last_tx_ = now;
+  if (ctx_.recorder().sample(stats_.msgs_tx)) {
+    record(analysis::RecEvent::msg_tx_sample, hdr.flags, seq, len);
+  }
 
   if (traced && ctx_.span_sink()) {
     SpanPostEvent ev;
@@ -388,6 +409,9 @@ void Channel::post_wire(const WireHeader& hdr, MemBlock block,
 void Channel::post_control(std::uint16_t flags, std::uint64_t aux_id,
                            std::uint64_t aux) {
   if (state_ == State::closed || state_ == State::error) return;
+  if (flags & kFlagNak) {
+    record(analysis::RecEvent::overload_nak_tx, 0, aux_id, aux);
+  }
   WireHeader hdr;
   hdr.flags = flags;
   hdr.rpc_id = aux_id;
@@ -458,7 +482,7 @@ void Channel::on_send_wc_control(std::uint16_t flags) {
   if (flags & kFlagNop) nop_inflight_ = false;
   if ((flags & kFlagFin) && state_ == State::closing) {
     recovery_timer_->cancel();  // the FIN deadline
-    state_ = State::closed;
+    set_state(State::closed);
     reclaim_windows();
     ctx_.channel_detach_qp(*this);  // before release_qp clears the QP num
     release_qp(/*recycle=*/true);
@@ -577,7 +601,7 @@ void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
     return;
   }
   if (hdr.has(kFlagFin)) {
-    state_ = State::closed;
+    set_state(State::closed, Errc::channel_closed);
     abort_calls(Errc::channel_closed);
     reclaim_windows();
     ctx_.channel_detach_qp(*this);  // before release_qp clears the QP num
@@ -677,6 +701,8 @@ void Channel::defer_rendezvous_pull(Seq seq, RxState& rx) {
     rx.pull_deferred = true;
     ++stats_.pulls_deferred;
     ++stats_.naks_tx;
+    record(analysis::RecEvent::overload_pull_defer, 0, seq,
+           rx.hdr.payload_len);
     // Windowless NAK carrying the parked seq and a retry-after hint (ns),
     // so the sender reads the stall as flow control, not a dead peer.
     post_control(kFlagNak, seq,
@@ -984,7 +1010,7 @@ void Channel::close() {
     fail(Errc::channel_closed);
     return;
   }
-  state_ = State::closing;
+  set_state(State::closing);
   fin_sent_ = true;
   // A closing channel can never deliver responses: complete outstanding
   // RPCs now instead of letting them ride to their timeouts.
@@ -1006,7 +1032,8 @@ void Channel::abort_calls(Errc reason) {
 
 void Channel::fail(Errc reason) {
   if (state_ == State::error || state_ == State::closed) return;
-  state_ = State::error;
+  set_state(State::error, reason);
+  ctx_.trigger_dump(analysis::TrigReason::channel_death);
   keepalive_timer_->cancel();
   recovery_timer_->cancel();
   if (tx_override_) {
@@ -1054,7 +1081,7 @@ void Channel::handle_transport_fault(Errc reason) {
 
 void Channel::start_recovery(Errc reason) {
   const Config& cfg = ctx_.config();
-  state_ = State::recovering;
+  set_state(State::recovering, reason);
   recovery_reason_ = reason;
   recovery_started_ = ctx_.engine().now();
   recovery_attempt_ = 0;
@@ -1067,6 +1094,8 @@ void Channel::start_recovery(Errc reason) {
   // attempt burns the full CM timeout, so the budget is halved. First-strike
   // faults against a healthy peer (retry-exceeded, flush, resets) get it all.
   recovery_budget_ = ctx_.health().recovery_budget(peer_, cfg.recovery_max_attempts);
+  record(analysis::RecEvent::recovery_start, static_cast<std::uint16_t>(reason),
+         recovery_budget_);
   ++stats_.recoveries_started;
   keepalive_timer_->cancel();
   keepalive_outstanding_ = false;
@@ -1103,6 +1132,7 @@ void Channel::schedule_recovery_attempt() {
   // fallback instead of burning CM timeouts.
   if (!ctx_.health().may_attempt(peer_, id_)) {
     ++stats_.breaker_fastfails;
+    record(analysis::RecEvent::breaker_fastfail, 0, recovery_attempt_);
     ctx_.health().note_denied(peer_);
     escalate_or_fail();
     return;
@@ -1134,12 +1164,14 @@ void Channel::recovery_timer_fire() {
     // initiate_resume; the rest must fail fast here.
     if (!ctx_.health().may_attempt(peer_, id_)) {
       ++stats_.breaker_fastfails;
+      record(analysis::RecEvent::breaker_fastfail, 0, recovery_attempt_);
       ctx_.health().note_denied(peer_);
       escalate_or_fail();
       return;
     }
     ++recovery_attempt_;
     ++stats_.recovery_attempts;
+    record(analysis::RecEvent::recovery_attempt, 0, recovery_attempt_);
     resume_inflight_ = true;
     ctx_.initiate_resume(*this);
     return;
@@ -1149,11 +1181,13 @@ void Channel::recovery_timer_fire() {
     // breaker gate: parked channels re-check on the next probe tick.
     if (!ctx_.health().may_attempt(peer_, id_)) {
       ++stats_.breaker_fastfails;
+      record(analysis::RecEvent::breaker_fastfail, 0, recovery_attempt_);
       ctx_.health().note_denied(peer_);
       arm_rdma_probe();
       return;
     }
     ++stats_.recovery_attempts;
+    record(analysis::RecEvent::recovery_attempt, 0, 0);
     resume_inflight_ = true;
     ctx_.initiate_resume(*this);
   }
@@ -1205,7 +1239,7 @@ void Channel::resume_adopt(verbs::Qp qp, rnic::QpNum peer_qp, Seq peer_rta) {
   recovery_timer_->cancel();
   qp_ = std::move(qp);
   peer_qp_ = peer_qp;
-  state_ = State::established;
+  set_state(State::established);
   ctx_.channel_attach_qp(*this);
   post_bounce_buffers();
 
@@ -1226,10 +1260,15 @@ void Channel::resume_adopt(verbs::Qp qp, rnic::QpNum peer_qp, Seq peer_rta) {
   // restored off the fallback).
   if (was_recovering || was_mocked) {
     ++stats_.recoveries_completed;
-    if (was_mocked) ++stats_.fallback_restores;
+    if (was_mocked) {
+      ++stats_.fallback_restores;
+      record(analysis::RecEvent::fallback_restore);
+    }
     ++ctx_.stats().channels_recovered;
     if (recovery_started_ > 0) {
       ctx_.stats().recovery_latency.record(now - recovery_started_);
+      record(analysis::RecEvent::recovery_resumed, 0, recovery_attempt_,
+             static_cast<std::uint64_t>(now - recovery_started_));
       recovery_started_ = 0;
     }
   }
@@ -1246,6 +1285,7 @@ void Channel::resume_adopt(verbs::Qp qp, rnic::QpNum peer_qp, Seq peer_rta) {
 void Channel::escalate_or_fail() {
   if (ctx_.config().fallback_auto && ctx_.fallback_provider_) {
     ++stats_.fallback_switches;
+    record(analysis::RecEvent::fallback_switch, 0, recovery_attempt_);
     const std::uint64_t cid = id_;
     ctx_.fallback_provider_(*this, [ctx = &ctx_, cid](Errc err) {
       Channel* ch = ctx->channel_by_id(cid);
@@ -1282,7 +1322,8 @@ void Channel::nudge_probe() {
 
 void Channel::on_fallback_attached() {
   if (state_ != State::recovering) return;  // manual switch: nothing to replay
-  state_ = State::established;
+  set_state(State::established);
+  record(analysis::RecEvent::fallback_attach);
   recovery_timer_->cancel();
   const Nanos now = ctx_.engine().now();
   last_tx_ = last_rx_ = last_alive_ = now;

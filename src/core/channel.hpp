@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 
+#include "analysis/recorder.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -175,6 +176,13 @@ class Channel {
           std::uint32_t send_depth);
 
   void init_established();
+
+  /// Flight-recorder append stamped with sim time and this channel's id.
+  void record(analysis::RecEvent ev, std::uint16_t code = 0,
+              std::uint64_t a = 0, std::uint64_t b = 0);
+  /// The single place state_ changes: every transition lands in the
+  /// recorder with the old state and the Errc that caused it.
+  void set_state(State next, Errc why = Errc::ok);
 
   // TX path.
   Errc enqueue(std::uint16_t flags, std::uint64_t rpc_id, Buffer payload,

@@ -139,6 +139,14 @@ const std::map<std::string, OnlineParam>& online_params() {
         [](Config& c, std::int64_t v) {
           c.health_retx_degraded = static_cast<std::uint32_t>(v);
         }}},
+      {"recorder_enabled",
+       {[](const Config& c) { return std::int64_t{c.recorder_enabled}; },
+        [](Config& c, std::int64_t v) { c.recorder_enabled = v != 0; }}},
+      {"recorder_sample_mask",
+       {[](const Config& c) { return std::int64_t{c.recorder_sample_mask}; },
+        [](Config& c, std::int64_t v) {
+          c.recorder_sample_mask = static_cast<std::uint32_t>(v);
+        }}},
   };
   return params;
 }
@@ -168,6 +176,10 @@ offline_params() {
           {"memcache_ctrl_reserve",
            [](const Config& c) {
              return static_cast<std::int64_t>(c.memcache_ctrl_reserve);
+           }},
+          {"recorder_capacity",
+           [](const Config& c) {
+             return static_cast<std::int64_t>(c.recorder_capacity);
            }},
       };
   return params;

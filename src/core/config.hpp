@@ -27,6 +27,16 @@ struct Config {
   Nanos polling_warn_cycle = millis(1); // gap between polls that trips a warn
   std::uint32_t trace_sample_mask = 0;  // trace msg when (seq & mask) == 0
 
+  // ---- Flight recorder (X-Ray; see README "Flight recorder & triage") ----
+  // Always-on control-plane ring. recorder_sample_mask gates the sampled
+  // message/WR lifecycle events: record when (seq & mask) == 0. Both are
+  // online so a hot node can be quieted or zoomed without restart.
+  bool recorder_enabled = true;
+  std::uint32_t recorder_sample_mask = 63;
+  // Ring capacity in records (rounded up to a power of two). Offline: the
+  // ring is sized once at context creation.
+  std::uint32_t recorder_capacity = 4096;
+
   // ---- Channel recovery ----
   // On QP error the channel parks its window and re-establishes a QP
   // through the CM instead of failing; 0 disables recovery (old behavior:

@@ -60,6 +60,7 @@ Context::Context(rnic::Rnic& nic, verbs::cm::CmService& cm, Config config)
       cm_(cm),
       cfg_(config),
       registry_(cfg_),
+      recorder_(cfg_.recorder_capacity),
       health_(nic.engine(), cfg_),
       pd_(nic),
       send_cq_(pd_.create_cq(cfg_.cq_size)),
@@ -81,6 +82,13 @@ Context::Context(rnic::Rnic& nic, verbs::cm::CmService& cm, Config config)
       event_fd_id_(static_cast<int>(nic.node()) * 1000 + 3) {
   trace_epoch_ = (static_cast<std::uint64_t>(nic.node()) << 56) ^
                  (next_context_instance() << 40);
+  recorder_.set_enabled(cfg_.recorder_enabled);
+  recorder_.set_sample_mask(cfg_.recorder_sample_mask);
+  health_.set_recorder(&recorder_, [this] {
+    trigger_dump(analysis::TrigReason::peer_dead);
+  });
+  ctrl_cache_.set_recorder(&recorder_, /*which=*/0);
+  data_cache_.set_recorder(&recorder_, /*which=*/1);
   if (cfg_.use_srq) {
     srq_ = nic_.create_srq(cfg_.srq_size);
     const std::uint32_t size =
@@ -179,8 +187,12 @@ void Context::connect(net::NodeId node, std::uint16_t port,
   opts.reuse_qp = qp_cache_.take();
   const std::optional<rnic::QpNum> reused = opts.reuse_qp;
   cm_.connect(nic_, node, port, std::move(opts),
-              [this, port, token, reused,
+              [this, node, port, token, reused,
                cb = std::move(cb)](Result<verbs::cm::Established> r) {
+                recorder_.log(engine().now(), analysis::RecEvent::cm_connect,
+                              static_cast<std::uint16_t>(
+                                  r.ok() ? Errc::ok : r.error()),
+                              node);
                 if (!r.ok()) {
                   if (reused) qp_cache_.put(*reused);
                   cb(r.error());
@@ -268,6 +280,10 @@ void Context::initiate_resume(Channel& ch) {
   cm_.connect(nic_, ch.peer_node(), ch.connect_port_, std::move(opts),
               [this, id, peer, reused](Result<verbs::cm::Established> r) {
                 health_.note_attempt_done(peer, id);
+                recorder_.log(engine().now(), analysis::RecEvent::cm_resume,
+                              static_cast<std::uint16_t>(
+                                  r.ok() ? Errc::ok : r.error()),
+                              peer, id);
                 Channel* ch = channel_by_id(id);
                 // The channel may have been failed/closed, or may already be
                 // running on the fallback, while the handshake was in flight.
@@ -430,9 +446,14 @@ int Context::polling(int budget) {
     stats_.worst_poll_gap = std::max(stats_.worst_poll_gap, gap);
     if (gap > cfg_.polling_warn_cycle) {
       ++stats_.slow_polls;
+      ++stats_.watchdog_trips;
       Logger::global().log(now, LogLevel::warn, "xr.polling",
                            strfmt("slow poll: %s gap on node %u",
                                   format_duration(gap).c_str(), node()));
+      recorder_.log(now, analysis::RecEvent::watchdog_trip, 0, 0,
+                    static_cast<std::uint64_t>(gap),
+                    static_cast<std::uint64_t>(cfg_.polling_warn_cycle));
+      trigger_dump(analysis::TrigReason::watchdog);
     }
   }
   last_poll_ = now;
@@ -465,6 +486,12 @@ void Context::dispatch_send_wc(const verbs::Wc& wc) {
   wrs_.erase(it);
   if (info.counted) wr_completed();
 
+  if (recorder_.sample(wc.wr_id)) {
+    recorder_.log(engine().now(), analysis::RecEvent::wr_sample,
+                  static_cast<std::uint16_t>(info.kind),
+                  static_cast<std::uint32_t>(info.channel_id), info.seq,
+                  static_cast<std::uint64_t>(wc.status));
+  }
   Channel* ch = channel_by_id(info.channel_id);
   switch (info.kind) {
     case WrInfo::Kind::data_send:
@@ -613,11 +640,18 @@ void Context::scan_tick() {
   if (p != last_pressure_) {
     if (p == MemPressure::soft) ++stats_.pressure_soft_events;
     if (p == MemPressure::hard) ++stats_.pressure_hard_events;
+    recorder_.log(engine().now(), analysis::RecEvent::pressure,
+                  static_cast<std::uint16_t>(p), 0,
+                  static_cast<std::uint64_t>(last_pressure_));
     if (static_cast<int>(p) > static_cast<int>(last_pressure_)) {
       data_cache_.shrink();
     }
     last_pressure_ = p;
   }
+  // Propagate online changes to the recorder knobs (xr_adm can quiet or
+  // zoom a hot node's ring without restart).
+  recorder_.set_enabled(cfg_.recorder_enabled);
+  recorder_.set_sample_mask(cfg_.recorder_sample_mask);
   // Propagate online changes to the idle-shrink knob.
   if (cfg_.memcache_idle_shrink != applied_idle_shrink_) {
     applied_idle_shrink_ = cfg_.memcache_idle_shrink;
@@ -629,6 +663,12 @@ void Context::scan_tick() {
       data_cache_.disable_idle_shrink();
     }
   }
+}
+
+void Context::trigger_dump(analysis::TrigReason reason) {
+  recorder_.log(engine().now(), analysis::RecEvent::trigger,
+                static_cast<std::uint16_t>(reason));
+  if (dump_hook_) dump_hook_(*this, analysis::to_string(reason));
 }
 
 TraceReport Context::trace_request(const Msg& msg) const {

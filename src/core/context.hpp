@@ -23,6 +23,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "analysis/recorder.hpp"
 #include "core/channel.hpp"
 #include "core/config.hpp"
 #include "core/fd.hpp"
@@ -120,6 +121,18 @@ class Context {
   /// hold-down) fed by every channel to the same remote node.
   HealthMonitor& health() { return health_; }
   const HealthMonitor& health() const { return health_; }
+  /// X-Ray flight recorder: the always-on control-plane event ring every
+  /// plane appends to (see analysis/recorder.hpp).
+  analysis::FlightRecorder& recorder() { return recorder_; }
+  const analysis::FlightRecorder& recorder() const { return recorder_; }
+  /// Installed by harnesses/tools that want a `.xrd` dump cut when a
+  /// trigger fires (channel death, peer dead, watchdog trip). Null by
+  /// default: triggers then only mark the ring.
+  using DumpHook = std::function<void(Context&, const std::string& reason)>;
+  void set_dump_hook(DumpHook hook) { dump_hook_ = std::move(hook); }
+  /// Record a `trigger` event and invoke the dump hook (if any). Reentrant
+  /// with respect to the recorder: hooks may append while dumping.
+  void trigger_dump(analysis::TrigReason reason);
   MemCache& ctrl_cache() { return ctrl_cache_; }
   MemCache& data_cache() { return data_cache_; }
   QpCache& qp_cache() { return qp_cache_; }
@@ -255,6 +268,7 @@ class Context {
   verbs::cm::CmService& cm_;
   Config cfg_;
   ConfigRegistry registry_;
+  analysis::FlightRecorder recorder_;
   HealthMonitor health_;
 
   verbs::Pd pd_;
@@ -307,6 +321,7 @@ class Context {
   FilterHook egress_filter_;
   FallbackProvider fallback_provider_;
   std::function<void(Channel&)> fallback_restore_;
+  DumpHook dump_hook_;
   ContextStats stats_;
   SpanSink* span_sink_ = nullptr;
   std::uint64_t trace_epoch_ = 0;

@@ -40,6 +40,21 @@ const char* to_string(PeerState state) {
   return "?";
 }
 
+void HealthMonitor::rec_log(analysis::RecEvent ev, std::uint16_t code,
+                            std::uint32_t peer, std::uint64_t a,
+                            std::uint64_t b) {
+  if (recorder_) recorder_->log(engine_.now(), ev, code, peer, a, b);
+}
+
+void HealthMonitor::grade_change(net::NodeId peer, PeerRecord& rec,
+                                 PeerState next) {
+  if (next == rec.state) return;
+  rec_log(analysis::RecEvent::health_grade, static_cast<std::uint16_t>(next),
+          static_cast<std::uint32_t>(peer),
+          static_cast<std::uint64_t>(rec.state));
+  rec.state = next;
+}
+
 void HealthMonitor::register_channel(net::NodeId peer) {
   ++record(peer).channels;
 }
@@ -110,6 +125,8 @@ void HealthMonitor::note_fault(net::NodeId peer) {
     ++rec.flaps;
     ++stats_.flaps;
     rec.last_flap = now;
+    rec_log(analysis::RecEvent::flap, 0, static_cast<std::uint32_t>(peer),
+            rec.flaps);
     if (rec.holddown_level < 24) {
       ++rec.holddown_level;
       ++stats_.holddown_escalations;
@@ -118,22 +135,33 @@ void HealthMonitor::note_fault(net::NodeId peer) {
         std::min(cfg_.health_holddown_base << (rec.holddown_level - 1),
                  cfg_.health_holddown_max);
     rec.holddown_until = now + std::max<Nanos>(hd, 0);
+    rec_log(analysis::RecEvent::holddown,
+            static_cast<std::uint16_t>(rec.holddown_level),
+            static_cast<std::uint32_t>(peer),
+            static_cast<std::uint64_t>(std::max<Nanos>(hd, 0)));
   }
 }
 
-void HealthMonitor::note_peer_dead(net::NodeId peer, std::uint64_t) {
+void HealthMonitor::note_peer_dead(net::NodeId peer,
+                                   std::uint64_t channel_id) {
   PeerRecord& rec = record(peer);
   ++stats_.dead_declarations;
   rec.dead = true;
-  rec.state = PeerState::dead;
+  rec_log(analysis::RecEvent::peer_dead,
+          static_cast<std::uint16_t>(channel_id),
+          static_cast<std::uint32_t>(peer));
+  grade_change(peer, rec, PeerState::dead);
   if (cfg_.health_breaker && !rec.breaker_open) {
     rec.breaker_open = true;
     ++stats_.breaker_opens;
+    rec_log(analysis::RecEvent::breaker_open, 0,
+            static_cast<std::uint32_t>(peer));
     // Probers are designated first-come at the next attempt; the channel
     // that declared death is typically first to schedule one.
     rec.probers.clear();
     rec.halfopen_inflight = 0;
   }
+  if (on_dead_) on_dead_();
 }
 
 bool HealthMonitor::note_restored(net::NodeId peer, bool from_fallback) {
@@ -143,9 +171,12 @@ bool HealthMonitor::note_restored(net::NodeId peer, bool from_fallback) {
   if (rec.breaker_open) {
     rec.breaker_open = false;
     ++stats_.breaker_closes;
+    rec_log(analysis::RecEvent::breaker_close, 0,
+            static_cast<std::uint32_t>(peer),
+            static_cast<std::uint64_t>(from_fallback));
   }
   rec.dead = false;
-  rec.state = PeerState::healthy;
+  grade_change(peer, rec, PeerState::healthy);
   rec.probers.clear();
   rec.halfopen_inflight = 0;
   rec.last_proof = now;
@@ -302,7 +333,7 @@ void HealthMonitor::evaluate(Nanos now) {
     if (next != rec.state) {
       if (next == PeerState::suspect) ++stats_.suspect_transitions;
       if (next == PeerState::degraded) ++stats_.degraded_transitions;
-      rec.state = next;
+      grade_change(peer, rec, next);
     }
     rec.retx_in_scan = 0;
     // A long quiet spell forgives past flapping.

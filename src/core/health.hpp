@@ -18,10 +18,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
 
+#include "analysis/recorder.hpp"
 #include "common/histogram.hpp"
 #include "common/time.hpp"
 #include "core/config.hpp"
@@ -112,6 +114,14 @@ class HealthMonitor {
   std::optional<PeerHealthView> view(net::NodeId peer) const;
   std::vector<PeerHealthView> peers() const;
 
+  /// Flight-recorder tap. `on_dead` fires after a dead declaration has been
+  /// logged — the Context uses it to trigger a post-mortem dump.
+  void set_recorder(analysis::FlightRecorder* recorder,
+                    std::function<void()> on_dead) {
+    recorder_ = recorder;
+    on_dead_ = std::move(on_dead);
+  }
+
  private:
   static constexpr std::size_t kIntervalWindow = 64;
 
@@ -147,6 +157,10 @@ class HealthMonitor {
 
   PeerRecord& record(net::NodeId peer) { return peers_[peer]; }
   const PeerRecord* find(net::NodeId peer) const;
+  void rec_log(analysis::RecEvent ev, std::uint16_t code = 0,
+               std::uint32_t peer = 0, std::uint64_t a = 0,
+               std::uint64_t b = 0);
+  void grade_change(net::NodeId peer, PeerRecord& rec, PeerState next);
   void push_interval(PeerRecord& rec, double interval);
   double interval_mean(const PeerRecord& rec) const;
   double interval_sigma(const PeerRecord& rec) const;
@@ -158,6 +172,8 @@ class HealthMonitor {
   const Config& cfg_;
   std::map<net::NodeId, PeerRecord> peers_;
   HealthStats stats_;
+  analysis::FlightRecorder* recorder_ = nullptr;
+  std::function<void()> on_dead_;
 };
 
 }  // namespace xrdma::core

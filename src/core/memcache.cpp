@@ -25,6 +25,10 @@ MemCache::Region* MemCache::grow() {
   mrs_.push_back(std::move(region));
   ++stats_.grow_events;
   stats_.occupied_bytes += cfg_.mr_bytes;
+  if (recorder_) {
+    recorder_->log(nic_.engine().now(), analysis::RecEvent::mem_grow, which_,
+                   0, stats_.occupied_bytes);
+  }
   return &mrs_.back();
 }
 
@@ -44,6 +48,10 @@ MemBlock MemCache::alloc(std::uint32_t len, bool privileged) {
     if (stats_.in_use_bytes + need > open) {
       ++stats_.failed_allocs;
       ++stats_.reserve_denials;
+      if (recorder_) {
+        recorder_->log(nic_.engine().now(), analysis::RecEvent::mem_denial,
+                       which_, 0, len);
+      }
       return {};
     }
   }
@@ -170,6 +178,10 @@ void MemCache::shrink() {
       nic_.dereg_mr(it->info.lkey);
       stats_.occupied_bytes -= cfg_.mr_bytes;
       ++stats_.shrink_events;
+      if (recorder_) {
+        recorder_->log(nic_.engine().now(), analysis::RecEvent::mem_shrink,
+                       which_, 0, stats_.occupied_bytes);
+      }
       it = mrs_.erase(it);
     } else {
       ++it;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/recorder.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/timer.hpp"
 
@@ -101,6 +102,13 @@ class MemCache {
     on_violation_ = std::move(h);
   }
 
+  /// Flight-recorder tap. `which` tags the pool in the event stream
+  /// (0 = control, 1 = data).
+  void set_recorder(analysis::FlightRecorder* recorder, std::uint16_t which) {
+    recorder_ = recorder;
+    which_ = which;
+  }
+
  private:
   struct Region {
     rnic::MrInfo info;
@@ -124,6 +132,8 @@ class MemCache {
   std::function<void(const MemBlock&)> on_violation_;
   std::unique_ptr<sim::DeadlineTimer> idle_timer_;
   Nanos idle_delay_ = 0;
+  analysis::FlightRecorder* recorder_ = nullptr;
+  std::uint16_t which_ = 0;
 };
 
 }  // namespace xrdma::core

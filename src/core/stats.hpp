@@ -70,6 +70,10 @@ struct ContextStats {
   std::uint64_t polls = 0;
   std::uint64_t empty_polls = 0;
   std::uint64_t slow_polls = 0;  // poll gap exceeded polling_warn_cycle
+  // Poll-gap watchdog trips. Tracks slow_polls today, but is the plane's
+  // own alarm counter: the trips also land in the flight recorder and the
+  // metrics registry (the satellite wiring slow polls used to lack).
+  std::uint64_t watchdog_trips = 0;
   Nanos worst_poll_gap = 0;
   std::uint64_t events_processed = 0;
   std::uint64_t parks = 0;       // hybrid poller switched to event mode

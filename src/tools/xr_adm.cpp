@@ -1,5 +1,8 @@
 #include "tools/xr_adm.hpp"
 
+#include "analysis/recorder.hpp"
+#include "common/logging.hpp"
+
 namespace xrdma::tools {
 
 void XrAdm::set_all(const std::string& name, std::int64_t value,
@@ -14,6 +17,23 @@ void XrAdm::set_all(const std::string& name, std::int64_t value,
       }
     }
     if (done) done(result);
+  });
+}
+
+void XrAdm::dump_all(const std::string& prefix,
+                     std::function<void(std::vector<std::string>)> done) {
+  engine_.schedule_after(delay_, [this, prefix, done = std::move(done)] {
+    std::vector<std::string> paths;
+    for (core::Context* ctx : fleet_) {
+      // Mark the trigger in the ring first so the dump's own cause is the
+      // last record a triage timeline shows.
+      ctx->trigger_dump(analysis::TrigReason::manual);
+      const analysis::Dump dump = analysis::snapshot_dump(*ctx, "manual");
+      const std::string path =
+          strfmt("%s.node%u.xrd", prefix.c_str(), ctx->node());
+      if (analysis::write_xrd_file(path, dump)) paths.push_back(path);
+    }
+    if (done) done(std::move(paths));
   });
 }
 

@@ -37,6 +37,13 @@ class XrAdm {
   /// rejection).
   std::map<net::NodeId, std::int64_t> collect(const std::string& name) const;
 
+  /// `xr_adm dump`: after the propagation delay, mark a manual trigger in
+  /// every managed context's flight recorder and write its ring to
+  /// `<prefix>.node<N>.xrd`. `done` receives the paths written (a path is
+  /// omitted when the file could not be created).
+  void dump_all(const std::string& prefix,
+                std::function<void(std::vector<std::string>)> done = nullptr);
+
  private:
   sim::Engine& engine_;
   Nanos delay_;

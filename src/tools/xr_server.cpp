@@ -1,7 +1,9 @@
 #include "tools/xr_server.hpp"
 
+#include <cstdlib>
 #include <cstring>
 
+#include "analysis/exposition.hpp"
 #include "common/logging.hpp"
 #include "testbed/cluster.hpp"
 
@@ -157,6 +159,72 @@ void StatsReporter::push() {
   Buffer wire = Buffer::make(sizeof(NodeReport));
   std::memcpy(wire.data(), &report, sizeof(NodeReport));
   conn_->send(std::move(wire));
+}
+
+// ---------------------------------------------------------------------------
+
+MetricsEndpoint::MetricsEndpoint(core::Context& ctx, testbed::Host& host,
+                                 std::uint16_t port)
+    : metrics_(ctx) {
+  host.tcp().listen(port, [this](tcpsim::TcpConn& conn) {
+    // Connections are owned by the stack and outlive this handler; one
+    // response per connection, then close (HTTP/1.0 semantics).
+    conn.set_on_data([this, &conn](Buffer) {
+      const std::string body = text();
+      ++scrapes_;
+      const std::string head = strfmt(
+          "HTTP/1.0 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4\r\n"
+          "Content-Length: %zu\r\n\r\n",
+          body.size());
+      Buffer wire = Buffer::make(head.size() + body.size());
+      std::memcpy(wire.data(), head.data(), head.size());
+      std::memcpy(wire.data() + head.size(), body.data(), body.size());
+      conn.send(std::move(wire));
+      // The scraper closes once the length-framed body is complete: in
+      // this stream model a FIN departs immediately and would race the
+      // still-queued response segments.
+    });
+  });
+}
+
+std::string MetricsEndpoint::text() {
+  return analysis::prometheus_render(metrics_.registry());
+}
+
+void scrape_metrics(testbed::Host& host, net::NodeId server,
+                    std::uint16_t port,
+                    std::function<void(Result<std::string>)> done) {
+  host.tcp().connect(
+      server, port,
+      [done = std::move(done)](Result<tcpsim::TcpConn*> r) {
+        if (!r.ok()) {
+          done(r.error());
+          return;
+        }
+        tcpsim::TcpConn* conn = r.value();
+        auto acc = std::make_shared<std::string>();
+        conn->set_on_data([done, acc, conn](Buffer chunk) {
+          if (chunk.data()) {
+            acc->append(reinterpret_cast<const char*>(chunk.data()),
+                        chunk.size());
+          }
+          // The response is length-framed; deliver once the advertised
+          // body has fully arrived.
+          const auto hdr_end = acc->find("\r\n\r\n");
+          if (hdr_end == std::string::npos) return;
+          const auto cl = acc->find("Content-Length: ");
+          if (cl == std::string::npos || cl > hdr_end) return;
+          const std::size_t len = static_cast<std::size_t>(
+              std::strtoull(acc->c_str() + cl + 16, nullptr, 10));
+          const std::size_t body_off = hdr_end + 4;
+          if (acc->size() - body_off < len) return;
+          done(acc->substr(body_off, len));
+          acc->clear();
+          conn->close();
+        });
+        conn->send(Buffer::from_string("GET /metrics HTTP/1.0\r\n\r\n"));
+      });
 }
 
 }  // namespace xrdma::tools

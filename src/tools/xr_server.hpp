@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/metrics.hpp"
 #include "core/context.hpp"
 #include "sim/timer.hpp"
 #include "tcpsim/tcp.hpp"
@@ -104,5 +105,30 @@ class StatsReporter {
   std::uint64_t seq_ = 0;
   sim::PeriodicTimer timer_;
 };
+
+/// Scrape endpoint: serves the Prometheus text exposition of one context's
+/// MetricsRegistry over the management network. Any bytes on a fresh
+/// connection count as the request (an HTTP GET line in practice); the
+/// endpoint answers with a minimal HTTP/1.0 response and closes.
+class MetricsEndpoint {
+ public:
+  MetricsEndpoint(core::Context& ctx, testbed::Host& host,
+                  std::uint16_t port);
+
+  /// The exposition body as served right now (refreshes the bridge).
+  std::string text();
+
+  std::uint64_t scrapes() const { return scrapes_; }
+
+ private:
+  analysis::ContextMetrics metrics_;
+  std::uint64_t scrapes_ = 0;
+};
+
+/// One shot scrape from `host` against a MetricsEndpoint: connects, sends a
+/// GET, hands the response body (headers stripped) to `done`.
+void scrape_metrics(testbed::Host& host, net::NodeId server,
+                    std::uint16_t port,
+                    std::function<void(Result<std::string>)> done);
 
 }  // namespace xrdma::tools

@@ -141,6 +141,56 @@ std::string xr_stat_metrics(core::Context& ctx) {
   return strfmt("node %u metrics:\n", ctx.node()) + metrics.registry().render();
 }
 
+namespace {
+// JSON number formatting: integers stay integers, doubles get %.9g (which
+// never produces NaN/Inf from the registry's counters and gauges).
+std::string json_number(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    return strfmt("%lld", static_cast<long long>(v));
+  }
+  return strfmt("%.9g", v);
+}
+}  // namespace
+
+std::string xr_stat_json(core::Context& ctx) {
+  std::ostringstream os;
+  os << strfmt("{\"node\":%u,\"channels\":[", ctx.node());
+  bool first = true;
+  for (core::Channel* ch : ctx.channels()) {
+    const auto& s = ch->stats();
+    os << (first ? "" : ",")
+       << strfmt("{\"peer\":%u,\"qp\":%u,\"state\":\"%s\","
+                 "\"msgs_tx\":%llu,\"msgs_rx\":%llu,"
+                 "\"bytes_tx\":%llu,\"bytes_rx\":%llu,"
+                 "\"inflight\":%zu,\"queued\":%zu,"
+                 "\"recoveries\":%llu,\"fallback_switches\":%llu,"
+                 "\"tx_would_block\":%llu,\"naks\":%llu,\"tx_shed\":%llu}",
+                 ch->peer_node(), ch->qp_num(), state_name(ch->state()),
+                 static_cast<unsigned long long>(s.msgs_tx),
+                 static_cast<unsigned long long>(s.msgs_rx),
+                 static_cast<unsigned long long>(s.bytes_tx),
+                 static_cast<unsigned long long>(s.bytes_rx),
+                 ch->inflight_msgs(), ch->queued_msgs(),
+                 static_cast<unsigned long long>(s.recoveries_completed),
+                 static_cast<unsigned long long>(s.fallback_switches),
+                 static_cast<unsigned long long>(s.tx_would_block),
+                 static_cast<unsigned long long>(s.naks_tx + s.naks_rx),
+                 static_cast<unsigned long long>(s.tx_shed));
+    first = false;
+  }
+  os << "],\"metrics\":{";
+  analysis::ContextMetrics metrics(ctx);
+  const auto snap = metrics.registry().snapshot();
+  first = true;
+  for (const auto& [name, value] : snap.values) {
+    os << (first ? "" : ",") << "\"" << name
+       << "\":" << json_number(value);
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
 std::string xr_stat_trace(const analysis::SpanCollector& spans) {
   return strfmt("latency decomposition (%zu/%zu chains complete):\n",
                 spans.complete_chains(), spans.size()) +

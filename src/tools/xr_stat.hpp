@@ -28,6 +28,12 @@ std::string xr_stat_fabric(const net::Fabric& fabric);
 /// Monitor and XR-Perf also read.
 std::string xr_stat_metrics(core::Context& ctx);
 
+/// --json: the machine-readable form. One object with the node id, a
+/// per-channel array (same rows as xr_stat) and the full scalar metrics
+/// snapshot keyed by registry name. Keys are emitted sorted, numbers as
+/// JSON numbers, so output is deterministic and diffable.
+std::string xr_stat_json(core::Context& ctx);
+
 /// --trace: per-stage latency-decomposition table (p50/p99 per stage,
 /// published through a MetricsRegistry) for the collected spans.
 std::string xr_stat_trace(const analysis::SpanCollector& spans);

@@ -1,0 +1,54 @@
+// XR-Triage: post-mortem decoder for `.xrd` flight-recorder dumps.
+//
+// A dump is the last few thousand control-plane decisions of one context,
+// cut at a trigger (channel death, peer dead, oracle failure, watchdog
+// trip, manual). Triage turns it into what an on-call engineer actually
+// wants at 3am: a one-line verdict naming the killing event, a causal
+// timeline of the records leading up to it, the trace chains that were in
+// flight across the fatal window, and the non-zero metrics at dump time.
+//
+// Library-only by design: the harness, tests and benches call these
+// directly; a CLI would just be argv glue around xr_triage_file().
+#pragma once
+
+#include <string>
+
+#include "analysis/recorder.hpp"
+#include "analysis/trace.hpp"
+#include "common/status.hpp"
+
+namespace xrdma::tools {
+
+struct TriageOptions {
+  /// Correlate with collected trace spans: chains posted inside the
+  /// timeline window are listed alongside the records.
+  const analysis::SpanCollector* spans = nullptr;
+  /// Show only the last `tail` records (0 = the whole ring).
+  std::size_t tail = 0;
+  /// Append the dump's non-zero metrics snapshot.
+  bool show_metrics = true;
+};
+
+struct TriageReport {
+  std::string verdict;   // one line naming the killing event
+  std::string timeline;  // decoded records, oldest first
+  std::string spans;     // trace chains overlapping the window ("" if none)
+  std::string metrics;   // non-zero scalars at dump time ("" if suppressed)
+
+  /// The full human-readable report.
+  std::string render() const;
+};
+
+/// Decode one record into the timeline's one-line form (exposed for tests).
+std::string describe_record(const analysis::Dump& dump,
+                            const analysis::Rec& rec);
+
+TriageReport xr_triage(const analysis::Dump& dump,
+                       const TriageOptions& opts = {});
+
+/// Load + triage a `.xrd` file. Errc::bad_message when the file is
+/// unreadable, corrupt or truncated.
+Result<TriageReport> xr_triage_file(const std::string& path,
+                                    const TriageOptions& opts = {});
+
+}  // namespace xrdma::tools

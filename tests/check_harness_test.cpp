@@ -8,11 +8,14 @@
 #include <random>
 
 #include "analysis/filter.hpp"
+#include "analysis/recorder.hpp"
+#include "common/logging.hpp"
 #include "check/harness.hpp"
 #include "check/oracles.hpp"
 #include "check/schedule.hpp"
 #include "core/context.hpp"
 #include "testbed/cluster.hpp"
+#include "tools/xr_triage.hpp"
 
 namespace xrdma::check {
 namespace {
@@ -126,6 +129,29 @@ TEST(Determinism, SameSeedTwiceProducesIdenticalDigests) {
   EXPECT_NE(a.digest, c.digest);
 }
 
+TEST(Determinism, SameSeedReplayProducesBitIdenticalFlightDumps) {
+  // Recorder records carry only sim time and deterministic payloads, so
+  // replaying one schedule must flush byte-identical `.xrd` dumps — the
+  // flight recorder is itself under the determinism contract.
+  const Schedule s = generate_schedule(42, small_params());
+  RunOptions opt = quiet();
+  opt.capture_dumps = true;
+  const RunReport a = run_schedule(s, opt);
+  const RunReport b = run_schedule(s, opt);
+  ASSERT_EQ(a.dumps.size(), static_cast<std::size_t>(s.params.num_hosts));
+  ASSERT_EQ(a.dumps.size(), b.dumps.size());
+  for (std::size_t i = 0; i < a.dumps.size(); ++i) {
+    EXPECT_EQ(a.dumps[i], b.dumps[i]) << "node " << i << " dump diverged";
+  }
+  // The captured bytes decode into a populated dump.
+  analysis::Dump dump;
+  ASSERT_TRUE(
+      analysis::decode_xrd(a.dumps[0].data(), a.dumps[0].size(), dump));
+  EXPECT_EQ(dump.reason, "capture");
+  EXPECT_FALSE(dump.records.empty());
+  EXPECT_FALSE(dump.metrics.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Smoke sweep: every oracle holds across N generated seeds. XCHECK_SEED /
 // XCHECK_SMOKE_COUNT select the seeds (see smoke_seeds).
@@ -139,6 +165,7 @@ TEST(Smoke, GeneratedSeedsSatisfyAllOracles) {
     if (const char* dir = std::getenv("XCHECK_REPLAY_DIR")) {
       opt.replay_path = std::string(dir) + "/xcheck_smoke_" +
                         std::to_string(seed) + ".replay";
+      opt.dump_dir = dir;  // flight dumps ride the same artifact upload
     }
     const RunReport r = check_seed(seed, {}, opt);
     EXPECT_TRUE(r.passed()) << describe(r);
@@ -289,6 +316,35 @@ TEST(ReplayAndShrink, PlantedCorruptionReplaysAndShrinks) {
   EXPECT_FALSE(min_run.passed()) << describe(min_run);
 }
 
+TEST(ReplayAndShrink, OracleFailureFlushesTriageableFlightDumps) {
+  const std::optional<Schedule> planted = find_planted_failure(nullptr);
+  ASSERT_TRUE(planted.has_value())
+      << "no corruption seed in [100,140) produced a violation";
+
+  std::string dir = testing::TempDir();
+  if (!dir.empty() && dir.back() == '/') dir.pop_back();
+  RunOptions opt = quiet();
+  opt.dump_dir = dir;
+  const RunReport r = run_schedule(*planted, opt);
+  ASSERT_FALSE(r.passed());
+
+  // One `.xrd` per context, triageable straight from disk: the CI artifact
+  // workflow is exactly this (dump_dir + xr_triage_file).
+  for (std::uint32_t node = 0; node < planted->params.num_hosts; ++node) {
+    const std::string path = strfmt("%s/xcheck-seed%llu.node%u.xrd",
+                                    dir.c_str(),
+                                    static_cast<unsigned long long>(r.seed),
+                                    node);
+    auto triage = tools::xr_triage_file(path);
+    ASSERT_TRUE(triage.ok()) << path;
+    EXPECT_NE(triage.value().verdict.find("X-Check oracle failure"),
+              std::string::npos)
+        << triage.value().verdict;
+    EXPECT_NE(triage.value().timeline.find("DUMP TRIGGER: oracle_failure"),
+              std::string::npos);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Wall-clock-bounded soak for the nightly job: explore fresh seeds until
 // the budget (XCHECK_SOAK_MS) expires. Skipped unless the env var is set.
@@ -321,7 +377,11 @@ TEST(Soak, ExploresSeedsUntilWallClockBudgetExpires) {
     if (const char* dir = std::getenv("XCHECK_REPLAY_DIR")) {
       opt.replay_path = std::string(dir) + "/xcheck_soak_" +
                         std::to_string(seed) + ".replay";
+      opt.dump_dir = dir;
     }
+    // Nightly ASan soak with the recorder exercised end-to-end: capture
+    // (trigger + snapshot + encode) every run, not just on failure.
+    opt.capture_dumps = std::getenv("XCHECK_CAPTURE_DUMPS") != nullptr;
     const RunReport r = check_seed(seed, {}, opt);
     ASSERT_TRUE(r.passed()) << describe(r);
     ++runs;

@@ -180,8 +180,10 @@ TEST(Soak, FlapSeedsUntilWallClockBudgetExpires) {
     if (const char* dir = std::getenv("XCHECK_REPLAY_DIR")) {
       opt.replay_path = std::string(dir) + "/xcheck_flap_" +
                         std::to_string(seed) + ".replay";
+      opt.dump_dir = dir;  // flight dumps ride the same artifact upload
       opt.verbose = true;
     }
+    opt.capture_dumps = std::getenv("XCHECK_CAPTURE_DUMPS") != nullptr;
     const RunReport r = check_seed(seed, flap_params(runs % 2 == 1), opt);
     ASSERT_TRUE(r.passed()) << describe(r);
     ++runs;

@@ -137,7 +137,9 @@ TEST(Soak, OverloadSeedsUntilWallClockBudgetExpires) {
     if (const char* dir = std::getenv("XCHECK_REPLAY_DIR")) {
       opt.replay_path = std::string(dir) + "/xcheck_overload_soak_" +
                         std::to_string(seed) + ".replay";
+      opt.dump_dir = dir;  // flight dumps ride the same artifact upload
     }
+    opt.capture_dumps = std::getenv("XCHECK_CAPTURE_DUMPS") != nullptr;
     const RunReport r = check_seed(seed, overload_params(), opt);
     ASSERT_TRUE(r.passed()) << describe(r);
     ++runs;
