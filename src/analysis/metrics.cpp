@@ -122,6 +122,11 @@ void ContextMetrics::refresh() {
     agg.ctrl_alloc_failures += s.ctrl_alloc_failures;
     agg.tx_shed += s.tx_shed;
     agg.breaker_fastfails += s.breaker_fastfails;
+    agg.hdr_version_reject += s.hdr_version_reject;
+    agg.hdr_tlv_skipped += s.hdr_tlv_skipped;
+    agg.drains_tx += s.drains_tx;
+    agg.drains_rx += s.drains_rx;
+    agg.drain_recovery_parks += s.drain_recovery_parks;
     if (ch->usable()) ++established;
     inflight += ch->inflight_msgs();
     queued += ch->queued_msgs();
@@ -163,6 +168,12 @@ void ContextMetrics::refresh() {
   reg_.counter("overload.ctrl_alloc_failures") = agg.ctrl_alloc_failures;
   reg_.counter("overload.tx_shed") = agg.tx_shed;
   reg_.counter("health.breaker_fastfails") = agg.breaker_fastfails;
+  // Lifecycle plane (graceful drain + protocol negotiation).
+  reg_.counter("chan.hdr_version_reject") = agg.hdr_version_reject;
+  reg_.counter("chan.hdr_tlv_skipped") = agg.hdr_tlv_skipped;
+  reg_.counter("chan.drains_tx") = agg.drains_tx;
+  reg_.counter("chan.drains_rx") = agg.drains_rx;
+  reg_.counter("recovery.drain_parks") = agg.drain_recovery_parks;
   reg_.gauge("chan.established") = static_cast<double>(established);
   reg_.gauge("chan.inflight") = static_cast<double>(inflight);
   reg_.gauge("chan.queued") = static_cast<double>(queued);
@@ -186,6 +197,12 @@ void ContextMetrics::refresh() {
   reg_.gauge("overload.mem_pressure") =
       static_cast<double>(static_cast<int>(ctx_.mem_pressure()));
   reg_.gauge("ctx.worst_poll_gap_us") = to_micros(cs.worst_poll_gap);
+  reg_.counter("ctx.drains_started") = cs.drains_started;
+  reg_.counter("ctx.drains_completed") = cs.drains_completed;
+  reg_.counter("ctx.lifecycle_rejects") = cs.lifecycle_rejects;
+  reg_.gauge("ctx.lifecycle") =
+      static_cast<double>(static_cast<int>(ctx_.lifecycle()));
+  reg_.histogram("ctx.drain_latency") = cs.drain_latency;
   reg_.histogram("ctx.rpc_latency") = cs.rpc_latency;
   reg_.histogram("recovery.latency") = cs.recovery_latency;
 
@@ -208,11 +225,15 @@ void ContextMetrics::refresh() {
   reg_.counter("health.holddown_escalations") = hs.holddown_escalations;
   reg_.counter("health.suspect_transitions") = hs.suspect_transitions;
   reg_.counter("health.degraded_transitions") = hs.degraded_transitions;
-  double peers_dead = 0, breakers_open = 0;
+  reg_.counter("health.draining_marks") = hs.draining_marks;
+  reg_.counter("health.drain_suppressions") = hs.drain_suppressions;
+  reg_.counter("health.drain_violations") = hs.drain_violations;
+  double peers_dead = 0, breakers_open = 0, peers_draining = 0;
   const auto views = ctx_.health().peers();
   for (const core::PeerHealthView& pv : views) {
     if (pv.state == core::PeerState::dead) ++peers_dead;
     if (pv.breaker_open) ++breakers_open;
+    if (pv.draining) ++peers_draining;
     const std::string prefix = strfmt("health.peer.%u.", pv.peer);
     reg_.gauge(prefix + "state") =
         static_cast<double>(static_cast<int>(pv.state));
@@ -224,10 +245,12 @@ void ContextMetrics::refresh() {
     reg_.gauge(prefix + "holddown_level") =
         static_cast<double>(pv.holddown_level);
     reg_.gauge(prefix + "channels") = static_cast<double>(pv.channels);
+    reg_.gauge(prefix + "draining") = pv.draining ? 1.0 : 0.0;
   }
   reg_.gauge("health.peers") = static_cast<double>(views.size());
   reg_.gauge("health.peers_dead") = peers_dead;
   reg_.gauge("health.breakers_open") = breakers_open;
+  reg_.gauge("health.peers_draining") = peers_draining;
 }
 
 }  // namespace xrdma::analysis

@@ -40,6 +40,10 @@ const char* to_string(RecEvent e) {
     case RecEvent::mem_shrink: return "mem_shrink";
     case RecEvent::mem_denial: return "mem_denial";
     case RecEvent::trigger: return "trigger";
+    case RecEvent::lifecycle_state: return "lifecycle_state";
+    case RecEvent::drain_rx: return "drain_rx";
+    case RecEvent::hdr_version_reject: return "hdr_version_reject";
+    case RecEvent::proto_negotiated: return "proto_negotiated";
   }
   return "unknown";
 }
@@ -58,7 +62,7 @@ const char* to_string(TrigReason r) {
 namespace {
 
 constexpr std::uint16_t kLastEvent =
-    static_cast<std::uint16_t>(RecEvent::trigger);
+    static_cast<std::uint16_t>(RecEvent::proto_negotiated);
 
 std::size_t round_pow2(std::uint32_t v) {
   std::size_t p = 1;

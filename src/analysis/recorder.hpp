@@ -77,6 +77,11 @@ enum class RecEvent : std::uint16_t {
   mem_denial = 28,         // reserve denial, a=requested len
   // Dump bookkeeping.
   trigger = 29,            // dump trigger fired; code=TrigReason
+  // Lifecycle plane (graceful drain + protocol negotiation).
+  lifecycle_state = 30,    // code=new Lifecycle, a=old Lifecycle
+  drain_rx = 31,           // peer announced drain; chan=peer, a=retry-after ns
+  hdr_version_reject = 32, // decode refused a version; code=HdrDecode, a=len
+  proto_negotiated = 33,   // code=effective version, a=features, b=peer range
 };
 
 /// Why a dump was cut. Written as Rec::code of the `trigger` record and as

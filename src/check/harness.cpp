@@ -131,6 +131,15 @@ core::Config Runner::make_config() const {
   // breaker and flap hold-down are always armed (they are no-ops until a
   // peer is actually declared dead, which needs a host_down fault).
   cfg.health_adaptive = s_.params.health_adaptive;
+  if (s_.params.drain_cycles > 0) {
+    // Scale the drain clocks to the horizon: force-close stragglers after
+    // 4 ms so a cycle actually reaches `drained`, and announce a
+    // retry-after whose 2x forgiveness window (16 ms) covers the 10 ms
+    // keepalive cliff — so when a fault strands a channel mid-drain the
+    // verdict is suppressed, not a false dead.
+    cfg.lifecycle_drain_timeout = millis(4);
+    cfg.lifecycle_retry_after = millis(8);
+  }
   cfg.recovery_max_attempts = 4;
   cfg.recovery_backoff = micros(200);
   cfg.deadlock_scan_period = micros(500);
@@ -147,8 +156,16 @@ RunReport Runner::run() {
       testbed::ClusterConfig::rack(static_cast<int>(s_.params.num_hosts)));
   sim::Engine& eng = cluster_->engine();
 
-  const core::Config cfg = make_config();
+  const core::Config base_cfg = make_config();
   for (std::uint32_t n = 0; n < s_.params.num_hosts; ++n) {
+    core::Config cfg = base_cfg;
+    if (s_.params.mixed_versions && (n % 2 == 0)) {
+      // "Old build": this node speaks wire v1 only and advertises no
+      // feature bits, so every mixed pair must negotiate down to v1 —
+      // the rolling-upgrade half-done state.
+      cfg.proto_version_max = 1;
+      cfg.proto_features = 0;
+    }
     ctxs_.push_back(std::make_unique<core::Context>(cluster_->rnic(n),
                                                     cluster_->cm(), cfg));
     core::Context& ctx = *ctxs_.back();
@@ -232,6 +249,27 @@ RunReport Runner::run() {
   for (const FaultOp& f : s_.faults) {
     eng.schedule_at(f.at, [this, f] { inject(f); });
   }
+  if (s_.params.drain_cycles > 0) {
+    // Drain shape: one victim cycles active -> draining -> drained ->
+    // restart across the back 5/8 of the horizon, driven through the same
+    // online flag `xr_adm drain` flips. Deliberately NOT a FaultOp: a
+    // graceful leave must keep oracle 11 armed, and oracle 13 checks that
+    // no peer grades the victim suspect/dead while it drains.
+    const auto victim = static_cast<std::uint32_t>((s_.seed >> 16) %
+                                                   s_.params.num_hosts);
+    const Nanos start = s_.params.horizon / 4;
+    const Nanos span = s_.params.horizon * 5 / 8;
+    const Nanos segment = span / s_.params.drain_cycles;
+    for (std::uint32_t i = 0; i < s_.params.drain_cycles; ++i) {
+      const Nanos at = start + static_cast<Nanos>(i) * segment;
+      eng.schedule_at(at, [this, victim] {
+        ctxs_[victim]->set_flag("lifecycle_drain", 1);
+      });
+      eng.schedule_at(at + segment / 2, [this, victim] {
+        ctxs_[victim]->set_flag("lifecycle_drain", 0);
+      });
+    }
+  }
 
   eng.run_until(s_.params.horizon);
   quiesce();
@@ -314,6 +352,16 @@ void Runner::execute(const Op& op) {
 void Runner::do_open(const Op& op) {
   const SlotKey key{op.src, op.dst, op.slot};
   SlotState& st = slots_[key];
+  if (st.ch && !st.ch->usable()) {
+    // The channel was closed underneath the slot — a drain cycle FIN'd it
+    // or recovery gave up. Retire the flow (prefix delivery was enforced
+    // on the way) and free the slot so this open dials a new generation:
+    // the reconnect-after-restart path the resume handshake renegotiates.
+    auto it = flows_.find(st.token);
+    if (it != flows_.end()) it->second.closed_by_op = true;
+    st.ch = nullptr;
+    st.token = 0;
+  }
   if (st.ch || st.connecting) return;
   st.connecting = true;
   const std::uint32_t gen = st.next_generation++;
@@ -457,6 +505,9 @@ void Runner::quiesce() {
   for (std::uint32_t n = 0; n < s_.params.num_hosts; ++n) {
     cluster_->host(n).set_alive(true);
   }
+  // Any drain still in flight is cancelled too — quiesce judges a cluster
+  // of active nodes (shrinking can delete the restart half of a cycle).
+  for (auto& c : ctxs_) c->set_flag("lifecycle_drain", 0);
   for (auto& f : filters_) f->clear();
   eng.run_for(millis(2));
   // 2. Flush: any channel with unacked or queued traffic gets its QP
@@ -639,6 +690,13 @@ void Runner::finish_report() {
     rep_.dead_declarations += hs.dead_declarations;
     rep_.breaker_opens += hs.breaker_opens;
     rep_.health_flaps += hs.flaps;
+    rep_.drain_suppressions += hs.drain_suppressions;
+    rep_.drains_started += c->stats().drains_started;
+    rep_.drains_completed += c->stats().drains_completed;
+    rep_.lifecycle_rejects += c->stats().lifecycle_rejects;
+    for (core::Channel* ch : c->channels()) {
+      rep_.drain_recovery_parks += ch->stats().drain_recovery_parks;
+    }
   }
 
   std::uint64_t d = 0xcbf29ce484222325ULL;

@@ -21,6 +21,12 @@
 //  10. no message both rejected by backpressure and delivered
 //  11. no false dead declaration while no host was ever silenced
 //  12. breaker consistency: no CM connect slips past a closed breaker gate
+//  13. drain courtesy: an announced drain is graded `draining`, never
+//      suspect/dead, and trips no breaker for its whole window
+//
+// Lifecycle shapes (drain_cycles / mixed_versions) are driven by the
+// harness itself — a drain is an administrative act, not a fault, so it
+// must not disarm oracle 11.
 //
 // A failing run prints its seed, dumps the schedule to a replay file
 // (re-runnable bit-for-bit with run_schedule(load_schedule(...))), and can
@@ -78,6 +84,14 @@ struct RunReport {
   std::uint64_t dead_declarations = 0;
   std::uint64_t breaker_opens = 0;
   std::uint64_t health_flaps = 0;
+  // Lifecycle exercise counters: drain cycles actually entered/completed on
+  // the victim, peers whose dead/fault verdicts were suppressed by a drain
+  // announcement, and negotiated-version rejections (disjoint ranges).
+  std::uint64_t drains_started = 0;
+  std::uint64_t drains_completed = 0;
+  std::uint64_t drain_suppressions = 0;
+  std::uint64_t drain_recovery_parks = 0;
+  std::uint64_t lifecycle_rejects = 0;
   std::uint64_t span_posts = 0;
   std::uint64_t span_delivers = 0;
   std::uint64_t oracle_observations = 0;

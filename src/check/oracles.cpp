@@ -241,6 +241,19 @@ void LiveOracle::observe(Nanos now) {
                             static_cast<unsigned long long>(
                                 ctx->health().stats().dead_declarations)));
     }
+    // Oracle 13: drain courtesy — the health plane counts every dead
+    // declaration or breaker trip that lands inside a peer's announced
+    // drain window. Graceful leave must read as `draining`, not failure.
+    if (!drain_violation_reported_ &&
+        ctx->health().stats().drain_violations > 0) {
+      drain_violation_reported_ = true;
+      log_->add(now, strfmt("drain courtesy violated on node %u: %llu "
+                            "dead/breaker transitions against a peer inside "
+                            "its announced drain window",
+                            ctx->node(),
+                            static_cast<unsigned long long>(
+                                ctx->health().stats().drain_violations)));
+    }
     // Oracle 12: breaker consistency — no CM connect attempt ever passed a
     // closed gate (the HealthMonitor counts them at the resume choke point).
     if (!breaker_violation_reported_ &&

@@ -23,6 +23,10 @@
 //  12. breaker consistency: once a peer is dead, no channel issues a CM
 //      connect attempt past the closed gate — only designated half-open
 //      probers re-admit the peer                   (LiveOracle, continuous)
+//  13. drain courtesy: a peer that announced a graceful drain is graded
+//      `draining`, never suspect/dead, and no breaker opens against it
+//      while its announced window lasts — leaving is not failing
+//                                                  (LiveOracle, continuous)
 //
 // Continuous oracles run from the engine's post-event hook, i.e. at every
 // quiescent point between simulation events — the strongest observation
@@ -118,6 +122,7 @@ class LiveOracle {
   bool silence_faults_injected_ = false;
   bool false_dead_reported_ = false;
   bool breaker_violation_reported_ = false;
+  bool drain_violation_reported_ = false;
   std::uint64_t observations_ = 0;
 };
 

@@ -189,7 +189,8 @@ std::string serialize_schedule(const Schedule& s) {
       << " txcap " << p.tx_queue_cap << " incast " << (p.incast ? 1 : 0)
       << " membudget " << p.mem_budget_mb << " flap " << p.flap_cycles
       << " brownout " << p.brownout_delay_us << " adaptive "
-      << (p.health_adaptive ? 1 : 0) << "\n";
+      << (p.health_adaptive ? 1 : 0) << " drain " << p.drain_cycles
+      << " mixedver " << (p.mixed_versions ? 1 : 0) << "\n";
   for (const Op& op : s.ops) {
     out << "op " << op.at << " " << to_string(op.kind) << " "
         << unsigned{op.src} << " " << unsigned{op.dst} << " "
@@ -239,6 +240,8 @@ bool deserialize_schedule(const std::string& text, Schedule& out) {
         else if (key == "flap") p.flap_cycles = static_cast<std::uint32_t>(value);
         else if (key == "brownout") p.brownout_delay_us = static_cast<std::uint32_t>(value);
         else if (key == "adaptive") p.health_adaptive = value != 0;
+        else if (key == "drain") p.drain_cycles = static_cast<std::uint32_t>(value);
+        else if (key == "mixedver") p.mixed_versions = value != 0;
         else return false;
       }
     } else if (word == "op") {

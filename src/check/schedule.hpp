@@ -91,6 +91,16 @@ struct ScheduleParams {
   // Run with the φ-accrual adaptive silence bound instead of the fixed
   // keepalive_timeout.
   bool health_adaptive = false;
+  // Lifecycle shapes (PR 7). drain_cycles: pick one victim host and run it
+  // through this many drain → drained → restart cycles across the back 5/8
+  // of the horizon. Drains are driven by the harness directly (begin_drain /
+  // flag clear), NOT as FaultOps, so the silence oracle stays armed: a
+  // draining peer must never be graded suspect/dead (oracle 13). 0 = off.
+  std::uint32_t drain_cycles = 0;
+  // mixed_versions: every even-numbered host runs with proto_version_max=1
+  // (the "old build"), odd hosts negotiate down to v1 on mixed pairs —
+  // rolling-upgrade conformance. Off = whole cluster at the current max.
+  bool mixed_versions = false;
 };
 
 struct Schedule {

@@ -115,6 +115,18 @@ Errc Channel::enqueue(std::uint16_t flags, std::uint64_t rpc_id,
     return Errc::channel_closed;
   }
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  // Lifecycle drain — ours or the peer's announced one: stop admitting new
+  // sends so the windows can flush (RPC responses still pass; completing
+  // accepted requests is part of the flush). Same would_block surface as
+  // overload backpressure; code 1 = local drain, 2 = peer drain.
+  if ((flags & kFlagRpcRsp) == 0 &&
+      (ctx_.draining() || ctx_.health().peer_draining(peer_))) {
+    ++stats_.tx_would_block;
+    tx_blocked_ = true;
+    record(analysis::RecEvent::overload_would_block,
+           ctx_.draining() ? 1 : 2, len);
+    return Errc::would_block;
+  }
   // Hard memory pressure: shed all new work. RPC responses still pass —
   // completing accepted requests is how the backlog drains.
   if ((flags & kFlagRpcRsp) == 0 &&
@@ -181,6 +193,10 @@ bool Channel::tx_writable() const {
 void Channel::maybe_fire_writable() {
   if (!tx_blocked_) return;
   if (state_ != State::established && state_ != State::recovering) return;
+  // Drain rejections clear only when the drain does: ours on restart, the
+  // peer's when its announced window lapses (the scan-tick sweep re-runs
+  // this, so the edge fires then without a dequeue event).
+  if (ctx_.draining() || ctx_.health().peer_draining(peer_)) return;
   if (!tx_writable()) return;
   tx_blocked_ = false;  // edge-triggered: re-arms on the next rejection
   ++stats_.writable_signals;
@@ -221,6 +237,7 @@ bool Channel::emit_data(PendingSend& p) {
   const Seq seq = swin_.next_seq();
 
   WireHeader hdr;
+  hdr.version = proto_version_;
   hdr.flags = p.flags | (large ? kFlagLarge : 0);
   hdr.seq = seq;
   hdr.rpc_id = p.rpc_id;
@@ -413,9 +430,16 @@ void Channel::post_control(std::uint16_t flags, std::uint64_t aux_id,
     record(analysis::RecEvent::overload_nak_tx, 0, aux_id, aux);
   }
   WireHeader hdr;
+  hdr.version = proto_version_;
   hdr.flags = flags;
   hdr.rpc_id = aux_id;
   hdr.rv_addr = aux;
+  if ((flags & (kFlagNak | kFlagDrain)) != 0 && proto_version_ >= 2) {
+    // Wire v2 also carries the hint as a header TLV — the extensible-field
+    // path new builds grow through; rv_addr keeps it for v1 interop.
+    hdr.retry_after_us = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(aux / kNanosPerMicro, 0xffffffffull));
+  }
   hdr.ack = rwin_.ack_to_send();
   rwin_.note_ack_sent();
 
@@ -477,6 +501,24 @@ void Channel::post_control(std::uint16_t flags, std::uint64_t aux_id,
   }
 }
 
+void Channel::send_drain(Nanos retry_after) {
+  if (state_ != State::established) return;
+  // Only a peer that negotiated kFeatDrain can parse the announcement (an
+  // old build's is_data() would mistake the unknown flag for data). It
+  // still sees our FINs — the close stays clean, just without the
+  // graceful grade on its health plane.
+  if ((proto_features_ & kFeatDrain) == 0) return;
+  ++stats_.drains_tx;
+  post_control(kFlagDrain, 0, static_cast<std::uint64_t>(retry_after));
+}
+
+bool Channel::quiescent() {
+  if (swin_.inflight() != 0 || !pending_tx_.empty()) return false;
+  bool assembling = false;
+  rwin_.for_each_pending([&assembling](Seq, RxState&) { assembling = true; });
+  return !assembling;
+}
+
 void Channel::on_send_wc_control(std::uint16_t flags) {
   if (flags & kFlagAckOnly) ack_inflight_ = false;
   if (flags & kFlagNop) nop_inflight_ = false;
@@ -536,10 +578,22 @@ void Channel::on_alt_rx(const std::uint8_t* data, std::uint32_t len) {
 void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
   if (state_ == State::closed || state_ == State::error) return;
   WireHeader hdr;
-  if (!WireHeader::decode(bytes, len, hdr)) {
+  const HdrDecode drc = WireHeader::decode_ex(bytes, len, hdr);
+  if (drc != HdrDecode::ok) {
     ++stats_.bad_messages;
+    if (drc == HdrDecode::bad_version) {
+      // Version skew, not corruption: count it by name and put it in the
+      // ring so triage reads "peer speaks a version outside our range"
+      // instead of a generic bad message.
+      ++stats_.hdr_version_reject;
+      record(analysis::RecEvent::hdr_version_reject,
+             static_cast<std::uint16_t>(drc), len);
+    }
     return;
   }
+  // Unknown header TLVs skipped by the length rule (upgraded peer adding
+  // fields we don't know yet): visible, never fatal.
+  stats_.hdr_tlv_skipped += hdr.tlv_skipped;
 
   // Fault injection (Filter, §VI-C).
   Buffer corrupted;  // keeps the mutated copy alive through handling
@@ -598,6 +652,21 @@ void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
     // the payload block is only freed on ack). Nothing to re-send: the NAK
     // exists so the stall reads as flow control, not silence.
     ++stats_.naks_rx;
+    return;
+  }
+  if (hdr.has(kFlagDrain)) {
+    // The peer announced a graceful drain: grade it `draining` (not
+    // suspect/dead) for its announced window. The reconnect hint rides
+    // rv_addr in ns (and, on wire v2, the retry-after TLV).
+    ++stats_.drains_rx;
+    Nanos hint = static_cast<Nanos>(hdr.rv_addr);
+    if (hint == 0 && hdr.retry_after_us > 0) {
+      hint = static_cast<Nanos>(hdr.retry_after_us) * kNanosPerMicro;
+    }
+    ctx_.recorder().log(ctx_.engine().now(), analysis::RecEvent::drain_rx, 0,
+                        static_cast<std::uint32_t>(peer_),
+                        static_cast<std::uint64_t>(hint), id_);
+    ctx_.health().note_peer_draining(peer_, hint);
     return;
   }
   if (hdr.has(kFlagFin)) {
@@ -1123,6 +1192,15 @@ void Channel::start_recovery(Errc reason) {
 
 void Channel::schedule_recovery_attempt() {
   const Config& cfg = ctx_.config();
+  // A peer that announced a drain is restarting on purpose: park the
+  // ladder for its window instead of burning budget (and CM timeouts)
+  // against a node that told us it is leaving. The timer re-fires after
+  // the window and the ladder resumes where it left off, budget intact.
+  if (const Nanos left = ctx_.health().drain_remaining(peer_); left > 0) {
+    ++stats_.drain_recovery_parks;
+    recovery_timer_->arm_after(std::max(left, cfg.recovery_backoff));
+    return;
+  }
   if (recovery_attempt_ >= recovery_budget_) {
     escalate_or_fail();
     return;
@@ -1155,6 +1233,14 @@ void Channel::recovery_timer_fire() {
     if (!connector_) {
       // Passive resume deadline expired: the peer never came back.
       fail(recovery_reason_);
+      return;
+    }
+    // Re-check the drain window at fire time too — the DRAIN may have
+    // arrived while the backoff timer was armed.
+    if (const Nanos left = ctx_.health().drain_remaining(peer_); left > 0) {
+      ++stats_.drain_recovery_parks;
+      recovery_timer_->arm_after(
+          std::max(left, ctx_.config().recovery_backoff));
       return;
     }
     // Re-check the breaker at fire time, not just at schedule time: when a

@@ -104,6 +104,14 @@ class Channel {
   /// Connection token minted at connect time: the stable identity that
   /// survives QP replacement (resume handshake, Mock fallback hello).
   std::uint64_t conn_token() const { return conn_token_; }
+  /// Negotiated at CM handshake time: the effective wire version (highest
+  /// both ranges contain) and feature set (AND of both ends) in force on
+  /// this channel. A channel to an old build runs v1 with no features.
+  std::uint16_t proto_version() const { return proto_version_; }
+  std::uint32_t proto_features() const { return proto_features_; }
+  /// Drain flush check: every send acked and dequeued, and no receive-side
+  /// assembly (rendezvous pull, parked pull) still outstanding.
+  bool quiescent();
   Nanos last_tx_time() const { return last_tx_; }
   Nanos last_rx_time() const { return last_rx_; }
   std::size_t inflight_msgs() const { return swin_.inflight(); }
@@ -197,6 +205,10 @@ class Channel {
   /// (kFlagNak: the NAK'd seq and the retry-after hint in ns).
   void post_control(std::uint16_t flags, std::uint64_t aux_id = 0,
                     std::uint64_t aux = 0);
+  /// DRAIN announcement (Context::begin_drain): tells the peer we are
+  /// leaving gracefully, with a reconnect hint. No-op unless the peer
+  /// negotiated kFeatDrain — an old build would mistake the flag for data.
+  void send_drain(Nanos retry_after);
 
   // Overload control (backpressure + memory-pressure degradation).
   bool tx_cap_reached(std::uint32_t len) const;
@@ -298,6 +310,8 @@ class Channel {
   bool connector_ = false;          // we dialed; we drive the resume
   std::uint16_t connect_port_ = 0;  // peer's listen port (resume target)
   std::uint64_t conn_token_ = 0;
+  std::uint16_t proto_version_ = 1;   // negotiated wire version
+  std::uint32_t proto_features_ = 0;  // negotiated feature bitmap
   Errc recovery_reason_ = Errc::ok;
   std::uint32_t recovery_attempt_ = 0;
   std::uint32_t recovery_budget_ = 0;

@@ -139,6 +139,19 @@ const std::map<std::string, OnlineParam>& online_params() {
         [](Config& c, std::int64_t v) {
           c.health_retx_degraded = static_cast<std::uint32_t>(v);
         }}},
+      {"lifecycle_drain",
+       {[](const Config& c) { return std::int64_t{c.lifecycle_drain}; },
+        [](Config& c, std::int64_t v) { c.lifecycle_drain = v != 0; }}},
+      {"lifecycle_drain_timeout_ms",
+       {[](const Config& c) {
+          return c.lifecycle_drain_timeout / kNanosPerMilli;
+        },
+        [](Config& c, std::int64_t v) {
+          c.lifecycle_drain_timeout = millis(v);
+        }}},
+      {"lifecycle_retry_after_ms",
+       {[](const Config& c) { return c.lifecycle_retry_after / kNanosPerMilli; },
+        [](Config& c, std::int64_t v) { c.lifecycle_retry_after = millis(v); }}},
       {"recorder_enabled",
        {[](const Config& c) { return std::int64_t{c.recorder_enabled}; },
         [](Config& c, std::int64_t v) { c.recorder_enabled = v != 0; }}},
@@ -181,6 +194,12 @@ offline_params() {
            [](const Config& c) {
              return static_cast<std::int64_t>(c.recorder_capacity);
            }},
+          {"proto_version_min",
+           [](const Config& c) { return std::int64_t{c.proto_version_min}; }},
+          {"proto_version_max",
+           [](const Config& c) { return std::int64_t{c.proto_version_max}; }},
+          {"proto_features",
+           [](const Config& c) { return std::int64_t{c.proto_features}; }},
       };
   return params;
 }

@@ -73,6 +73,32 @@ struct Config {
   std::uint32_t health_degraded_rtt_x = 4;
   std::uint32_t health_retx_degraded = 32;
 
+  // ---- Lifecycle plane (graceful drain; see README "Lifecycle") ----
+  // lifecycle_drain is the online trigger behind `xr_adm drain`: setting it
+  // nonzero moves the context active -> draining (observed in scan_tick);
+  // clearing it on a drained context models the post-restart return to
+  // active. The drain announces itself to every feature-capable peer, stops
+  // admitting new channels/sends (would_block + retry-after hint), flushes
+  // in-flight windows and rendezvous pulls, then closes cleanly.
+  bool lifecycle_drain = false;
+  // Hard deadline: channels still busy past this are force-closed so a
+  // wedged peer cannot park the restart forever.
+  Nanos lifecycle_drain_timeout = millis(500);
+  // Retry-after hint carried by the DRAIN announcement and handed to local
+  // callers rejected with would_block — roughly restart + reconnect time.
+  Nanos lifecycle_retry_after = millis(200);
+
+  // ---- Protocol negotiation (rolling upgrades) ----
+  // Supported wire-version range and feature bitmap advertised in the CM
+  // handshake. Offline: a binary's protocol support cannot change at
+  // runtime. The channel's effective version is min(max, peer_max) and its
+  // features the bitwise AND — checked against max(min, peer_min) so
+  // disjoint ranges refuse cleanly at establishment. proto_version_max = 1
+  // emits the legacy 32-byte handshake, faithfully modeling an old binary.
+  std::uint16_t proto_version_min = 1;
+  std::uint16_t proto_version_max = 2;
+  std::uint32_t proto_features = 3;  // kFeatDrain | kFeatHdrTlv
+
   // ---- Offline (Table III) ----
   bool use_srq = false;
   std::uint32_t cq_size = 8192;

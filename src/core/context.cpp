@@ -10,26 +10,51 @@ namespace xrdma::core {
 namespace {
 constexpr std::uint32_t kHandshakeMagic = 0x5852434d;  // "XRCM"
 constexpr std::uint32_t kHsResume = 1u << 0;  // re-attach to a live channel
+constexpr std::uint32_t kHsVersioned = 1u << 1;  // 44-byte form with the
+                                                 // version-range extension
 
 // CM private data (both REQ and REP): window depth negotiation plus the
 // connection token (the identity that survives QP replacement) and, for
 // resume handshakes, the sender's receive-window RTA so the peer retires
 // acked-but-unconfirmed entries before retransmitting the rest.
+//
+// Rolling-upgrade extension (kHsVersioned): bytes [32, 44) carry the
+// sender's supported wire-version range and feature bitmap. Old builds
+// emit the legacy 32-byte form and their decoders require only 32 bytes,
+// so each side can grow the handshake without breaking the other — the
+// same unknown-tail-ignored rule the wire header's TLV area uses.
 struct Handshake {
   std::uint32_t depth = 0;
   std::uint32_t flags = 0;
   std::uint64_t token = 0;
   std::uint64_t rta = 0;
+  // Versioned extension; decode defaults to the v1-only legacy range.
+  std::uint16_t ver_min = 1;
+  std::uint16_t ver_max = 1;
+  std::uint32_t features = 0;
 };
 
-Buffer encode_handshake(std::uint32_t window_depth, std::uint32_t flags,
+Buffer encode_handshake(const Config& cfg, std::uint32_t flags,
                         std::uint64_t token, std::uint64_t rta) {
-  Buffer b = Buffer::make(32);
+  // A node capped at wire version 1 emits the legacy 32-byte form — this
+  // is how the mixed-version test matrix stands in for genuinely old
+  // builds (proto_version_max=1 IS the old build, byte for byte).
+  const bool versioned = cfg.proto_version_max > 1;
+  Buffer b = Buffer::make(versioned ? 44 : 32);
+  if (versioned) flags |= kHsVersioned;
+  const std::uint32_t depth = cfg.window_depth;
   std::memcpy(b.data(), &kHandshakeMagic, 4);
-  std::memcpy(b.data() + 4, &window_depth, 4);
+  std::memcpy(b.data() + 4, &depth, 4);
   std::memcpy(b.data() + 8, &flags, 4);
   std::memcpy(b.data() + 16, &token, 8);
   std::memcpy(b.data() + 24, &rta, 8);
+  if (versioned) {
+    const std::uint32_t vmin = cfg.proto_version_min;
+    const std::uint32_t vmax = cfg.proto_version_max;
+    std::memcpy(b.data() + 32, &vmin, 4);
+    std::memcpy(b.data() + 36, &vmax, 4);
+    std::memcpy(b.data() + 40, &cfg.proto_features, 4);
+  }
   return b;
 }
 
@@ -43,7 +68,38 @@ std::optional<Handshake> decode_handshake(const Buffer& b) {
   std::memcpy(&hs.flags, b.data() + 8, 4);
   std::memcpy(&hs.token, b.data() + 16, 8);
   std::memcpy(&hs.rta, b.data() + 24, 8);
+  if ((hs.flags & kHsVersioned) != 0 && b.size() >= 44) {
+    std::uint32_t vmin = 0, vmax = 0;
+    std::memcpy(&vmin, b.data() + 32, 4);
+    std::memcpy(&vmax, b.data() + 36, 4);
+    std::memcpy(&hs.features, b.data() + 40, 4);
+    hs.ver_min = static_cast<std::uint16_t>(vmin);
+    hs.ver_max = static_cast<std::uint16_t>(vmax);
+  }
   return hs;
+}
+
+// The (version, features) in force for a channel: the highest version both
+// ranges contain, and the features both ends advertise. An empty
+// intersection refuses the connection — the two builds are too far apart
+// to talk, and a refused handshake beats a channel that corrupts.
+struct Negotiated {
+  bool ok = false;
+  std::uint16_t version = 1;
+  std::uint32_t features = 0;
+};
+
+Negotiated negotiate(const Config& cfg, const Handshake& hs) {
+  Negotiated n;
+  const std::uint16_t lo = std::max(cfg.proto_version_min, hs.ver_min);
+  const std::uint16_t hi = std::min(cfg.proto_version_max, hs.ver_max);
+  if (lo > hi) return n;  // disjoint ranges
+  n.ok = true;
+  n.version = hi;
+  n.features = cfg.proto_features & hs.features;
+  // Feature-bit downgrade: the TLV area only exists on wire v2 frames.
+  if (n.version < 2) n.features &= ~static_cast<std::uint32_t>(kFeatHdrTlv);
+  return n;
 }
 
 // Deterministic per-process context counter: contexts are created in a
@@ -142,11 +198,11 @@ Errc Context::listen(std::uint16_t port, ChannelHandler on_channel) {
         if (auto hs = decode_handshake(req);
             hs && (hs->flags & kHsResume) != 0) {
           if (Channel* ch = channel_by_token(hs->token)) {
-            return encode_handshake(cfg_.window_depth, kHsResume, hs->token,
+            return encode_handshake(cfg_, kHsResume, hs->token,
                                     ch->rx_rta());
           }
         }
-        return encode_handshake(cfg_.window_depth, 0, 0, 0);
+        return encode_handshake(cfg_, 0, 0, 0);
       },
       /*on_accept=*/
       [this, port](verbs::cm::Established est) {
@@ -163,17 +219,38 @@ Errc Context::listen(std::uint16_t port, ChannelHandler on_channel) {
         }
         Channel* ch = adopt_established(std::move(est), /*connector=*/false,
                                         port, hs ? hs->token : 0);
+        if (ch && draining()) {
+          // Late race: the drain began while this accept was in flight
+          // (anything later bounces at the CM admission gate). Admit it,
+          // announce the drain, and let drain_progress close it cleanly.
+          ch->send_drain(cfg_.lifecycle_retry_after);
+        }
         auto it = listeners_.find(port);
         if (ch && it != listeners_.end() && it->second.on_channel) {
           it->second.on_channel(*ch);
         }
       });
   entry.listener->set_qp_supplier([this] { return qp_cache_.take(); });
+  entry.listener->set_admission_gate([this]() -> std::optional<Errc> {
+    if (!draining()) return std::nullopt;
+    // Stopped admitting (graceful drain): refuse at the CM so the
+    // connector sees would_block now — swallowing the accept here would
+    // leave the peer with a half-open channel and a false dead verdict.
+    ++stats_.lifecycle_rejects;
+    return Errc::would_block;
+  });
   return Errc::ok;
 }
 
 void Context::connect(net::NodeId node, std::uint16_t port,
                       ConnectCallback cb) {
+  if (draining()) {
+    // Leaving: no new channels from this node either. Same backpressure
+    // surface as the overload plane — would_block, retry after restart.
+    ++stats_.lifecycle_rejects;
+    engine().schedule_after(0, [cb = std::move(cb)] { cb(Errc::would_block); });
+    return;
+  }
   // The token is the channel identity that outlives its QP: resume
   // handshakes and the Mock fallback hello both key on it.
   const std::uint64_t token =
@@ -183,7 +260,7 @@ void Context::connect(net::NodeId node, std::uint16_t port,
   opts.recv_cq = recv_cq_.id();
   opts.caps = qp_caps();
   opts.srq = srq_;
-  opts.private_data = encode_handshake(cfg_.window_depth, 0, token, 0);
+  opts.private_data = encode_handshake(cfg_, 0, token, 0);
   opts.reuse_qp = qp_cache_.take();
   const std::optional<rnic::QpNum> reused = opts.reuse_qp;
   cm_.connect(nic_, node, port, std::move(opts),
@@ -202,7 +279,8 @@ void Context::connect(net::NodeId node, std::uint16_t port,
                                                 /*connector=*/true, port,
                                                 token);
                 if (!ch) {
-                  cb(Errc::internal);
+                  // Adoption only refuses on a failed protocol negotiation.
+                  cb(Errc::connection_refused);
                   return;
                 }
                 cb(ch);
@@ -221,6 +299,23 @@ Channel* Context::adopt_established(verbs::cm::Established est, bool connector,
   const auto hs = decode_handshake(est.private_data);
   const std::uint32_t peer_depth = hs ? hs->depth : cfg_.window_depth;
   const std::uint32_t send_depth = std::min(peer_depth, cfg_.window_depth);
+  // Protocol negotiation (rolling upgrades): both ends compute the same
+  // intersection from REQ/REP, so the outcome is symmetric without a third
+  // round trip. No private data reads as a legacy v1 peer.
+  const Handshake peer_hs = hs ? *hs : Handshake{};
+  const Negotiated neg = negotiate(cfg_, peer_hs);
+  recorder_.log(engine().now(), analysis::RecEvent::proto_negotiated,
+                neg.ok ? neg.version : 0,
+                static_cast<std::uint32_t>(est.peer_node), neg.features,
+                static_cast<std::uint64_t>(peer_hs.ver_min) |
+                    (static_cast<std::uint64_t>(peer_hs.ver_max) << 16));
+  if (!neg.ok) {
+    // Disjoint version ranges: refuse (code 0 above names the reason in
+    // the ring) instead of establishing a channel that would reject every
+    // frame at decode.
+    qp_cache_.put(est.qp.release());
+    return nullptr;
+  }
   const std::uint64_t id = next_channel_id_++;
   auto ch = std::unique_ptr<Channel>(
       new Channel(*this, std::move(est.qp), est.peer_node, id, send_depth));
@@ -228,6 +323,8 @@ Channel* Context::adopt_established(verbs::cm::Established est, bool connector,
   ch->connector_ = connector;
   ch->connect_port_ = port;
   ch->conn_token_ = token;
+  ch->proto_version_ = neg.version;
+  ch->proto_features_ = neg.features;
   Channel* raw = ch.get();
   channels_.push_back(std::move(ch));
   by_qp_[raw->qp_num()] = raw;
@@ -268,8 +365,8 @@ void Context::initiate_resume(Channel& ch) {
   opts.recv_cq = recv_cq_.id();
   opts.caps = qp_caps();
   opts.srq = srq_;
-  opts.private_data = encode_handshake(cfg_.window_depth, kHsResume,
-                                       ch.conn_token_, ch.rx_rta());
+  opts.private_data = encode_handshake(cfg_, kHsResume, ch.conn_token_,
+                                       ch.rx_rta());
   opts.reuse_qp = qp_cache_.take();
   const std::optional<rnic::QpNum> reused = opts.reuse_qp;
   const std::uint64_t id = ch.id();
@@ -626,6 +723,19 @@ void Context::scan_tick() {
   // Refresh per-peer health verdicts (suspect/degraded transitions, flap
   // hold-down decay) at the same cadence as the deadlock scan.
   health_.evaluate(engine().now());
+  // Lifecycle plane: the online lifecycle_drain flag (`xr_adm drain`)
+  // moves the node active -> draining; clearing it after the drain
+  // completed models the restart (back to active, peers reconnect via CM).
+  if (cfg_.lifecycle_drain && lifecycle_ == Lifecycle::active) {
+    begin_drain();
+  } else if (!cfg_.lifecycle_drain && lifecycle_ != Lifecycle::active) {
+    recorder_.log(engine().now(), analysis::RecEvent::lifecycle_state,
+                  static_cast<std::uint16_t>(Lifecycle::active), 0,
+                  static_cast<std::uint64_t>(lifecycle_));
+    lifecycle_ = Lifecycle::active;
+    drain_started_ = 0;
+  }
+  if (lifecycle_ == Lifecycle::draining) drain_progress();
   // Periodically reclaim idle memory-cache MRs (§IV-E: "if the resource
   // utilization becomes lower, it will shrink its capacity").
   if (cfg_.memcache_shrink_period > 0 &&
@@ -663,6 +773,66 @@ void Context::scan_tick() {
       data_cache_.disable_idle_shrink();
     }
   }
+}
+
+const char* to_string(Lifecycle s) {
+  switch (s) {
+    case Lifecycle::active: return "active";
+    case Lifecycle::draining: return "draining";
+    case Lifecycle::drained: return "drained";
+  }
+  return "unknown";
+}
+
+void Context::begin_drain() {
+  if (lifecycle_ != Lifecycle::active) return;
+  recorder_.log(engine().now(), analysis::RecEvent::lifecycle_state,
+                static_cast<std::uint16_t>(Lifecycle::draining), 0,
+                static_cast<std::uint64_t>(lifecycle_));
+  lifecycle_ = Lifecycle::draining;
+  drain_started_ = engine().now();
+  ++stats_.drains_started;
+  // Direct callers (tests, embedding apps) keep the flag in sync so the
+  // scan-tick machine doesn't read the still-clear flag as a restart.
+  cfg_.lifecycle_drain = true;
+  // Announce first: peers that negotiated kFeatDrain grade us `draining`
+  // (no suspicion, no breaker trip) and park their retry ladders for the
+  // reconnect hint instead of burning recovery budget against us.
+  for (auto& ch : channels_) ch->send_drain(cfg_.lifecycle_retry_after);
+  drain_progress();
+}
+
+void Context::drain_progress() {
+  const Nanos now = engine().now();
+  const bool force = cfg_.lifecycle_drain_timeout > 0 &&
+                     now - drain_started_ >= cfg_.lifecycle_drain_timeout;
+  bool busy = false;
+  for (auto& ch : channels_) {
+    const Channel::State st = ch->state();
+    if (st == Channel::State::closed || st == Channel::State::error) continue;
+    if (st == Channel::State::established) {
+      // Close only once the windows flushed: every send acked, nothing
+      // queued, no rendezvous pull mid-assembly — that is the zero-loss
+      // half of the drain contract. The timeout force-closes stragglers.
+      if (force || ch->quiescent()) ch->close();
+    } else if (force && st == Channel::State::recovering) {
+      ch->close();  // no transport to flush through: tears down locally
+    }
+    const Channel::State after = ch->state();
+    if (after != Channel::State::closed && after != Channel::State::error) {
+      busy = true;  // closing (FIN in flight) or still flushing
+    }
+  }
+  if (busy) return;
+  recorder_.log(now, analysis::RecEvent::lifecycle_state,
+                static_cast<std::uint16_t>(Lifecycle::drained), 0,
+                static_cast<std::uint64_t>(lifecycle_));
+  lifecycle_ = Lifecycle::drained;
+  ++stats_.drains_completed;
+  stats_.drain_latency.record(now - drain_started_);
+  Logger::global().log(now, LogLevel::info, "xr.lifecycle",
+                       strfmt("node %u drained in %s", node(),
+                              format_duration(now - drain_started_).c_str()));
 }
 
 void Context::trigger_dump(analysis::TrigReason reason) {

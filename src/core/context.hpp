@@ -38,6 +38,16 @@
 
 namespace xrdma::core {
 
+/// Node lifecycle (graceful drain, `xr_adm drain`): `active` serves
+/// traffic; `draining` refuses new channels/sends and flushes in-flight
+/// windows; `drained` has every channel closed cleanly and is safe to
+/// restart. Clearing the lifecycle_drain flag models the restart
+/// (drained -> active; peers reconnect through CM with renegotiated
+/// protocol versions).
+enum class Lifecycle : std::uint8_t { active, draining, drained };
+
+const char* to_string(Lifecycle s);
+
 /// What xrdma_trace_req returns for a traced message (§VI-A method I).
 struct TraceReport {
   bool traced = false;
@@ -133,6 +143,17 @@ class Context {
   /// Record a `trigger` event and invoke the dump hook (if any). Reentrant
   /// with respect to the recorder: hooks may append while dumping.
   void trigger_dump(analysis::TrigReason reason);
+  // --- Lifecycle plane -------------------------------------------------------
+  /// Drain state machine: `xr_adm drain` sets the online lifecycle_drain
+  /// flag and scan_tick runs the machine (announce -> flush -> close).
+  Lifecycle lifecycle() const { return lifecycle_; }
+  /// In (or past) a drain: new channels and new sends are refused with
+  /// Errc::would_block (PR 4's backpressure surface).
+  bool draining() const { return lifecycle_ != Lifecycle::active; }
+  /// Enter the drain now (the flag route arrives here too): announce DRAIN
+  /// on every feature-capable channel, stop admission, then scan_tick
+  /// flushes in-flight windows and closes channels until `drained`.
+  void begin_drain();
   MemCache& ctrl_cache() { return ctrl_cache_; }
   MemCache& data_cache() { return data_cache_; }
   QpCache& qp_cache() { return qp_cache_; }
@@ -254,6 +275,10 @@ class Context {
   void nudge_peer_probes(net::NodeId peer, std::uint64_t except_id);
 
   void scan_tick();  // deadlock NOPs, RPC timeouts
+  /// One drain step: close channels whose windows flushed (or everything
+  /// once lifecycle_drain_timeout expires), declare `drained` when every
+  /// channel is terminal.
+  void drain_progress();
   void poll_loop_step();
   void park();
 
@@ -316,6 +341,9 @@ class Context {
   std::uint64_t queued_tx_bytes_ = 0;
   MemPressure last_pressure_ = MemPressure::normal;
   Nanos applied_idle_shrink_ = 0;
+
+  Lifecycle lifecycle_ = Lifecycle::active;
+  Nanos drain_started_ = 0;
 
   FilterHook filter_;
   FilterHook egress_filter_;

@@ -36,6 +36,7 @@ const char* to_string(PeerState state) {
     case PeerState::suspect: return "suspect";
     case PeerState::degraded: return "degraded";
     case PeerState::dead: return "dead";
+    case PeerState::draining: return "draining";
   }
   return "?";
 }
@@ -56,7 +57,14 @@ void HealthMonitor::grade_change(net::NodeId peer, PeerRecord& rec,
 }
 
 void HealthMonitor::register_channel(net::NodeId peer) {
-  ++record(peer).channels;
+  PeerRecord& rec = record(peer);
+  ++rec.channels;
+  // A fresh establishment is proof the drain's restart completed: the peer
+  // is back and gradeable again.
+  if (rec.draining) {
+    rec.draining = false;
+    rec.drain_until = 0;
+  }
 }
 
 void HealthMonitor::unregister_channel(net::NodeId peer,
@@ -120,6 +128,9 @@ void HealthMonitor::note_retransmit(net::NodeId peer) {
 void HealthMonitor::note_fault(net::NodeId peer) {
   const Nanos now = engine_.now();
   PeerRecord& rec = record(peer);
+  // Faults caused by a peer tearing itself down on purpose are not flaps:
+  // escalating the hold-down would punish the announced restart.
+  if (rec.draining && now < rec.drain_until) return;
   if (rec.last_restore > 0 && now - rec.last_restore <= cfg_.health_flap_window) {
     // Restore-then-fail inside the flap window: escalate the hold-down.
     ++rec.flaps;
@@ -145,6 +156,13 @@ void HealthMonitor::note_fault(net::NodeId peer) {
 void HealthMonitor::note_peer_dead(net::NodeId peer,
                                    std::uint64_t channel_id) {
   PeerRecord& rec = record(peer);
+  if (rec.draining && engine_.now() < rec.drain_until) {
+    // The peer told us it is leaving: its silence is the restart it
+    // announced, not a death. No dead grade, no breaker, no dump trigger —
+    // just the count, so triage can see the suppression happened.
+    ++stats_.drain_suppressions;
+    return;
+  }
   ++stats_.dead_declarations;
   rec.dead = true;
   rec_log(analysis::RecEvent::peer_dead,
@@ -176,12 +194,39 @@ bool HealthMonitor::note_restored(net::NodeId peer, bool from_fallback) {
             static_cast<std::uint64_t>(from_fallback));
   }
   rec.dead = false;
+  rec.draining = false;
+  rec.drain_until = 0;
   grade_change(peer, rec, PeerState::healthy);
   rec.probers.clear();
   rec.halfopen_inflight = 0;
   rec.last_proof = now;
   if (from_fallback) rec.last_restore = now;
   return closed;
+}
+
+void HealthMonitor::note_peer_draining(net::NodeId peer, Nanos retry_after) {
+  const Nanos now = engine_.now();
+  PeerRecord& rec = record(peer);
+  const Nanos hint =
+      retry_after > 0 ? retry_after : cfg_.lifecycle_retry_after;
+  // Twice the announced window: the hint is the peer's optimistic restart
+  // estimate, and a late reconnect should not flip it dead mid-handshake.
+  rec.draining = true;
+  rec.drain_until = now + 2 * std::max<Nanos>(hint, millis(1));
+  ++stats_.draining_marks;
+  grade_change(peer, rec, PeerState::draining);
+}
+
+bool HealthMonitor::peer_draining(net::NodeId peer) const {
+  const PeerRecord* rec = find(peer);
+  return rec && rec->draining && engine_.now() < rec->drain_until;
+}
+
+Nanos HealthMonitor::drain_remaining(net::NodeId peer) const {
+  const PeerRecord* rec = find(peer);
+  if (!rec || !rec->draining) return 0;
+  const Nanos now = engine_.now();
+  return rec->drain_until > now ? rec->drain_until - now : 0;
 }
 
 bool HealthMonitor::may_attempt(net::NodeId peer,
@@ -292,7 +337,11 @@ PeerState HealthMonitor::state(net::NodeId peer) const {
 std::uint32_t HealthMonitor::recovery_budget(net::NodeId peer,
                                              std::uint32_t max_attempts) const {
   const PeerRecord* rec = find(peer);
-  if (rec && rec->state != PeerState::healthy) {
+  // Draining is exempt from the halved-budget distrust rule: the ladder is
+  // parked outright at the channel (drain × recovery audit), and whatever
+  // budget survives must be whole when the peer comes back.
+  if (rec && rec->state != PeerState::healthy &&
+      rec->state != PeerState::draining) {
     return std::max<std::uint32_t>(1, max_attempts / 2);
   }
   return max_attempts;
@@ -307,6 +356,21 @@ Nanos HealthMonitor::probe_holddown(net::NodeId peer) const {
 
 void HealthMonitor::evaluate(Nanos now) {
   for (auto& [peer, rec] : peers_) {
+    if (rec.draining) {
+      if (now >= rec.drain_until) {
+        // The peer overstayed its announced restart window without
+        // reconnecting: forgiveness expires and normal grading resumes.
+        rec.draining = false;
+        rec.drain_until = 0;
+      } else {
+        // The draining contract: no dead grade, no open breaker while the
+        // window holds. A breach here is what X-Check oracle 13 reads.
+        if (rec.dead || rec.breaker_open) ++stats_.drain_violations;
+        grade_change(peer, rec, PeerState::draining);
+        rec.retx_in_scan = 0;
+        continue;
+      }
+    }
     // With the breaker disabled nothing re-admits a dead peer explicitly;
     // fresh proof of life does.
     if (rec.dead && !rec.breaker_open && rec.last_proof > 0 &&

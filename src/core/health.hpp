@@ -33,7 +33,16 @@
 
 namespace xrdma::core {
 
-enum class PeerState : std::uint8_t { healthy, suspect, degraded, dead };
+// `draining` is not a severity rung: a peer that announced a graceful drain
+// is leaving on purpose, so suspicion, dead declarations and breaker trips
+// are suppressed for its announced window instead of escalating.
+enum class PeerState : std::uint8_t {
+  healthy,
+  suspect,
+  degraded,
+  dead,
+  draining,
+};
 
 const char* to_string(PeerState state);
 
@@ -52,6 +61,8 @@ struct PeerHealthView {
   Nanos holddown_until = 0;
   bool breaker_open = false;
   std::uint32_t channels = 0;    // channels currently registered to the peer
+  bool draining = false;         // inside an announced drain window
+  Nanos drain_until = 0;         // when the drain grade expires unrenewed
 };
 
 class HealthMonitor {
@@ -73,7 +84,19 @@ class HealthMonitor {
   /// A channel starts recovery against the peer; runs flap detection.
   void note_fault(net::NodeId peer);
   /// A keepalive declared the peer silent past the bound; opens the breaker.
+  /// Suppressed (counted, not acted on) while the peer's announced drain
+  /// window is open — a draining peer's silence is a restart, not a fault.
   void note_peer_dead(net::NodeId peer, std::uint64_t channel_id);
+  /// The peer announced a graceful drain (DRAIN control message). Grades it
+  /// `draining` for roughly `retry_after` (its reconnect hint; 0 falls back
+  /// to lifecycle_retry_after), suppressing suspicion/death/breaker trips
+  /// and pausing flap escalation until the window expires or the peer
+  /// reconnects.
+  void note_peer_draining(net::NodeId peer, Nanos retry_after);
+  /// Is the peer inside an announced drain window right now?
+  bool peer_draining(net::NodeId peer) const;
+  /// Remaining announced drain window (0 when not draining).
+  Nanos drain_remaining(net::NodeId peer) const;
   /// A channel came back to RDMA service (resume succeeded). Closes the
   /// breaker. `from_fallback` marks a TCP->RDMA restore, which is what the
   /// flap window measures against. Returns true when this closed an open
@@ -153,6 +176,9 @@ class HealthMonitor {
     std::uint64_t flaps = 0;
     std::uint32_t holddown_level = 0;
     Nanos holddown_until = 0;
+    // Announced drain window (graceful-leave grade, not a severity rung).
+    bool draining = false;
+    Nanos drain_until = 0;
   };
 
   PeerRecord& record(net::NodeId peer) { return peers_[peer]; }

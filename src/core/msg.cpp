@@ -27,9 +27,18 @@ void WireHeader::encode(std::uint8_t* dst) const {
   put(p, rv_addr);
   put(p, rv_rkey);
   put(p, budget_us);
-  // Pad the bare header to kBareSize.
+  // Pad the bare header to kBareSize. Version >= 2 writes the TLV area
+  // into the pad bytes first; v1 peers never read them, so the same bytes
+  // are zero padding to an old decoder and extension space to a new one.
   const std::uint32_t used = static_cast<std::uint32_t>(p - dst);
   std::memset(p, 0, kBareSize - used);
+  if (version >= 2 && retry_after_us != 0) {
+    std::uint8_t* t = dst + kTlvOffset;
+    *t++ = 1;  // entry count
+    *t++ = kTlvRetryAfterUs;
+    *t++ = sizeof(std::uint32_t);
+    std::memcpy(t, &retry_after_us, sizeof(std::uint32_t));
+  }
   p = dst + kBareSize;
   if (has(kFlagTraced)) {
     put(p, t_send);
@@ -38,15 +47,17 @@ void WireHeader::encode(std::uint8_t* dst) const {
   }
 }
 
-bool WireHeader::decode(const std::uint8_t* src, std::uint32_t len,
-                        WireHeader& out) {
-  if (len < kBareSize) return false;
+HdrDecode WireHeader::decode_ex(const std::uint8_t* src, std::uint32_t len,
+                                WireHeader& out) {
+  if (len < kBareSize) return HdrDecode::too_short;
   const std::uint8_t* p = src;
   std::uint32_t magic = 0;
   get(p, magic);
-  if (magic != kMagic) return false;
+  if (magic != kMagic) return HdrDecode::bad_magic;
   get(p, out.version);
-  if (out.version != 1) return false;
+  if (out.version < kVersionMin || out.version > kVersionMax) {
+    return HdrDecode::bad_version;
+  }
   get(p, out.flags);
   get(p, out.payload_len);
   get(p, out.seq);
@@ -55,13 +66,35 @@ bool WireHeader::decode(const std::uint8_t* src, std::uint32_t len,
   get(p, out.rv_addr);
   get(p, out.rv_rkey);
   get(p, out.budget_us);
+  out.retry_after_us = 0;
+  out.tlv_skipped = 0;
+  if (out.version >= 2) {
+    // TLV walk over the pad area. Entries too long for the area terminate
+    // the walk (a v2 peer never emits them; a zeroed area parses as count
+    // 0). Unknown types are skipped by length — the forward-compatibility
+    // rule that makes rolling upgrades safe.
+    const std::uint8_t* t = src + kTlvOffset;
+    const std::uint8_t* area_end = src + kBareSize;
+    std::uint8_t count = *t++;
+    while (count-- > 0 && t + 2 <= area_end) {
+      const std::uint8_t type = *t++;
+      const std::uint8_t tlen = *t++;
+      if (t + tlen > area_end) break;
+      if (type == kTlvRetryAfterUs && tlen == sizeof(std::uint32_t)) {
+        std::memcpy(&out.retry_after_us, t, sizeof(std::uint32_t));
+      } else {
+        ++out.tlv_skipped;
+      }
+      t += tlen;
+    }
+  }
   if (out.has(kFlagTraced)) {
-    if (len < kBareSize + kTraceSize) return false;
+    if (len < kBareSize + kTraceSize) return HdrDecode::too_short;
     p = src + kBareSize;
     get(p, out.t_send);
     get(p, out.trace_id);
   }
-  return true;
+  return HdrDecode::ok;
 }
 
 }  // namespace xrdma::core

@@ -31,12 +31,45 @@ enum MsgFlags : std::uint16_t {
   kFlagNak = 1 << 7,       // receiver shed a rendezvous pull (windowless);
                            // rpc_id carries the NAK'd seq, rv_addr the
                            // retry-after hint in ns
+  kFlagDrain = 1 << 8,     // sender is draining (windowless); rv_addr
+                           // carries the retry-after hint in ns
+};
+
+/// CM-negotiated feature bits: each side advertises what it understands in
+/// the handshake private data; a channel's effective set is the AND of both
+/// ends, so a feature is only used when both builds speak it.
+enum ProtoFeatures : std::uint32_t {
+  kFeatDrain = 1u << 0,   // understands DRAIN announcements (kFlagDrain)
+  kFeatHdrTlv = 1u << 1,  // reads the wire-v2 header TLV area
+};
+
+/// Why decode() refused a buffer. Distinguishable so triage can name a
+/// version-skew kill instead of folding it into generic corruption.
+enum class HdrDecode : std::uint8_t {
+  ok = 0,
+  too_short = 1,
+  bad_magic = 2,
+  bad_version = 3,  // outside [kVersionMin, kVersionMax]
 };
 
 struct WireHeader {
   static constexpr std::uint32_t kMagic = 0x58524d41;  // "XRMA"
   static constexpr std::uint32_t kBareSize = 64;
   static constexpr std::uint32_t kTraceSize = 32;
+  // Protocol versions this build speaks. v1 is the original fixed header;
+  // v2 adds the TLV area in the bare header's pad bytes. The effective
+  // version of a channel is negotiated at CM handshake time (Context), so
+  // a conforming peer never sends a version outside our range.
+  static constexpr std::uint16_t kVersionMin = 1;
+  static constexpr std::uint16_t kVersionMax = 2;
+  // TLV area (version >= 2): rides in the bare header's pad bytes
+  // [kTlvOffset, kBareSize). Layout: u8 entry count, then per entry
+  // {u8 type, u8 len, len payload bytes}. Unknown types are skipped via
+  // their length (counted in tlv_skipped) — the rule that lets an upgraded
+  // node add header fields old peers safely ignore. v1 decoders never read
+  // the pad bytes at all, which is the same rule one version further back.
+  static constexpr std::uint32_t kTlvOffset = 52;
+  static constexpr std::uint8_t kTlvRetryAfterUs = 1;  // u32 payload
 
   std::uint16_t version = 1;
   std::uint16_t flags = 0;
@@ -54,9 +87,14 @@ struct WireHeader {
   // Trace block (kFlagTraced).
   std::int64_t t_send = 0;    // sender clock at send_msg time
   std::uint64_t trace_id = 0;
+  // TLV sidecar (version >= 2). On encode: a retry_after_us != 0 emits the
+  // retry-after TLV. On decode: populated from recognized TLVs;
+  // tlv_skipped counts unknown entries that were skipped by length.
+  std::uint32_t retry_after_us = 0;
+  std::uint16_t tlv_skipped = 0;
 
   bool is_data() const {
-    return (flags & (kFlagAckOnly | kFlagNop | kFlagNak)) == 0;
+    return (flags & (kFlagAckOnly | kFlagNop | kFlagNak | kFlagDrain)) == 0;
   }
   bool has(MsgFlags f) const { return (flags & f) != 0; }
 
@@ -64,11 +102,17 @@ struct WireHeader {
     return kBareSize + (has(kFlagTraced) ? kTraceSize : 0);
   }
 
-  /// Serializes into `dst` (must hold wire_size() bytes).
+  /// Serializes into `dst` (must hold wire_size() bytes). version <= 1
+  /// zero-pads the TLV area (the legacy form, bit-identical to old builds).
   void encode(std::uint8_t* dst) const;
   /// Returns false on bad magic/version/length.
   static bool decode(const std::uint8_t* src, std::uint32_t len,
-                     WireHeader& out);
+                     WireHeader& out) {
+    return decode_ex(src, len, out) == HdrDecode::ok;
+  }
+  /// decode() with a distinguishable reject reason.
+  static HdrDecode decode_ex(const std::uint8_t* src, std::uint32_t len,
+                             WireHeader& out);
 };
 
 /// A received message as handed to the application.

@@ -49,6 +49,12 @@ struct ChannelStats {
   std::uint64_t tx_shed = 0;          // sends shed under hard mem pressure
   // Health plane.
   std::uint64_t breaker_fastfails = 0;  // retry ladders skipped (breaker open)
+  // Lifecycle plane.
+  std::uint64_t hdr_version_reject = 0; // decode refused out-of-range version
+  std::uint64_t hdr_tlv_skipped = 0;    // unknown header TLVs skipped by rule
+  std::uint64_t drains_tx = 0;          // DRAIN announcements sent
+  std::uint64_t drains_rx = 0;          // DRAIN announcements received
+  std::uint64_t drain_recovery_parks = 0;  // retry ladders parked: peer drains
 };
 
 /// Context-wide health-plane counters (aggregated across peers by the
@@ -64,6 +70,11 @@ struct HealthStats {
   std::uint64_t holddown_escalations = 0;
   std::uint64_t suspect_transitions = 0;
   std::uint64_t degraded_transitions = 0;
+  // Lifecycle plane: peers graded draining instead of suspect/dead.
+  std::uint64_t draining_marks = 0;     // note_peer_draining announcements
+  std::uint64_t drain_suppressions = 0; // dead/suspect verdicts suppressed
+  std::uint64_t drain_violations = 0;   // grades that broke the draining
+                                        // contract (X-Check oracle 13)
 };
 
 struct ContextStats {
@@ -84,6 +95,12 @@ struct ContextStats {
   std::uint64_t channels_recovered = 0;  // recoveries brought back to service
   std::uint64_t pressure_soft_events = 0;  // ladder transitions into soft
   std::uint64_t pressure_hard_events = 0;  // ladder transitions into hard
+  // Lifecycle plane.
+  std::uint64_t drains_started = 0;    // active -> draining transitions
+  std::uint64_t drains_completed = 0;  // draining -> drained transitions
+  std::uint64_t lifecycle_rejects = 0; // connects/accepts refused while
+                                       // draining (would_block surface)
+  Histogram drain_latency;  // ns, begin_drain -> drained
   Histogram rpc_latency;  // ns, across all channels
   Histogram recovery_latency;  // ns, fault detection -> channel usable again
 };

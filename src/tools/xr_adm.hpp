@@ -37,6 +37,20 @@ class XrAdm {
   /// rejection).
   std::map<net::NodeId, std::int64_t> collect(const std::string& name) const;
 
+  /// `xr_adm drain` / `xr_adm undrain`: flip the fleet's lifecycle flag.
+  /// Drain moves every managed node active -> draining (new work refused
+  /// with would_block, windows flushed, DRAIN announced to peers); undrain
+  /// returns drained nodes to active, modelling the post-upgrade restart.
+  void drain_all(std::function<void(AdmResult)> done = nullptr) {
+    set_all("lifecycle_drain", 1, std::move(done));
+  }
+  void undrain_all(std::function<void(AdmResult)> done = nullptr) {
+    set_all("lifecycle_drain", 0, std::move(done));
+  }
+
+  /// Per-node `xr_adm drain <node>`: target a single context.
+  void drain_node(net::NodeId node, std::function<void(AdmResult)> done = nullptr);
+
   /// `xr_adm dump`: after the propagation delay, mark a manual trigger in
   /// every managed context's flight recorder and write its ring to
   /// `<prefix>.node<N>.xrd`. `done` receives the paths written (a path is

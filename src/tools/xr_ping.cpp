@@ -137,9 +137,10 @@ std::string xr_ping_health(analysis::ContextMetrics& metrics) {
                  reg.value(p + "rtt_p99_us"), reg.value(p + "flaps"),
                  reg.value(p + "holddown_level"), reg.value(p + "channels"));
   }
-  os << strfmt("  peers=%.0f dead=%.0f breakers_open=%.0f denied=%.0f "
-               "flaps=%.0f\n",
+  os << strfmt("  peers=%.0f dead=%.0f draining=%.0f breakers_open=%.0f "
+               "denied=%.0f flaps=%.0f\n",
                reg.value("health.peers"), reg.value("health.peers_dead"),
+               reg.value("health.peers_draining"),
                reg.value("health.breakers_open"),
                reg.value("health.connects_denied"),
                reg.value("health.flaps"));

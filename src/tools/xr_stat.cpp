@@ -104,6 +104,11 @@ std::string xr_stat_summary(core::Context& ctx) {
                static_cast<unsigned long long>(ctrl.reserve_denials +
                                                data.reserve_denials),
                static_cast<unsigned long long>(ctrl.privileged_alloc_fails));
+  os << strfmt("  lifecycle: state=%s drains=%llu/%llu rejects=%llu\n",
+               core::to_string(ctx.lifecycle()),
+               static_cast<unsigned long long>(cs.drains_completed),
+               static_cast<unsigned long long>(cs.drains_started),
+               static_cast<unsigned long long>(cs.lifecycle_rejects));
   const auto& hs = ctx.health().stats();
   os << strfmt("  health: dead=%llu breaker_open=%llu/closed=%llu "
                "denied=%llu flaps=%llu holddown_escal=%llu suspect=%llu "
@@ -160,12 +165,18 @@ std::string xr_stat_json(core::Context& ctx) {
     const auto& s = ch->stats();
     os << (first ? "" : ",")
        << strfmt("{\"peer\":%u,\"qp\":%u,\"state\":\"%s\","
+                 "\"proto_version\":%u,\"proto_features\":%u,"
+                 "\"peer_draining\":%s,"
                  "\"msgs_tx\":%llu,\"msgs_rx\":%llu,"
                  "\"bytes_tx\":%llu,\"bytes_rx\":%llu,"
                  "\"inflight\":%zu,\"queued\":%zu,"
                  "\"recoveries\":%llu,\"fallback_switches\":%llu,"
                  "\"tx_would_block\":%llu,\"naks\":%llu,\"tx_shed\":%llu}",
                  ch->peer_node(), ch->qp_num(), state_name(ch->state()),
+                 static_cast<unsigned>(ch->proto_version()),
+                 static_cast<unsigned>(ch->proto_features()),
+                 ctx.health().peer_draining(ch->peer_node()) ? "true"
+                                                             : "false",
                  static_cast<unsigned long long>(s.msgs_tx),
                  static_cast<unsigned long long>(s.msgs_rx),
                  static_cast<unsigned long long>(s.bytes_tx),
@@ -178,7 +189,8 @@ std::string xr_stat_json(core::Context& ctx) {
                  static_cast<unsigned long long>(s.tx_shed));
     first = false;
   }
-  os << "],\"metrics\":{";
+  os << strfmt("],\"lifecycle\":\"%s\",\"metrics\":{",
+               core::to_string(ctx.lifecycle()));
   analysis::ContextMetrics metrics(ctx);
   const auto snap = metrics.registry().snapshot();
   first = true;

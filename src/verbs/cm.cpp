@@ -117,6 +117,22 @@ void CmService::connect(rnic::Rnic& nic, net::NodeId dst, std::uint16_t port,
           costs_.accept_cost,
           [this, &nic, shared, client_qpn, listener,
            cb = std::move(cb)]() mutable {
+            if (listener->admission_gate_) {
+              if (auto refused = listener->admission_gate_()) {
+                // The listener declines (e.g. graceful drain): REP(reject)
+                // hop back so the connector learns promptly instead of
+                // holding a half-open QP toward a node that is leaving.
+                const Errc rc = *refused;
+                const bool reused = shared->reuse_qp.has_value();
+                engine_.schedule_after(
+                    costs_.msg_delay,
+                    [&nic, reused, client_qpn, rc, cb = std::move(cb)] {
+                      abandon_qp(nic, reused, client_qpn);
+                      cb(rc);
+                    });
+                return;
+              }
+            }
             const AcceptSpec spec = listener->make_spec_();
             rnic::Rnic& snic = listener->nic_;
             QpNum server_qpn = rnic::kInvalidId;

@@ -83,6 +83,14 @@ class Listener {
   void set_qp_supplier(std::function<std::optional<QpNum>()> supplier) {
     qp_supplier_ = std::move(supplier);
   }
+  /// Optional admission gate, consulted when accept processing starts.
+  /// Returning an error refuses the connection with a prompt REP(reject)
+  /// carrying that code — the lifecycle plane uses this so a draining
+  /// node bounces new channels at the CM instead of accepting a QP it is
+  /// about to tear down.
+  void set_admission_gate(std::function<std::optional<Errc>()> gate) {
+    admission_gate_ = std::move(gate);
+  }
 
  private:
   friend class CmService;
@@ -93,6 +101,7 @@ class Listener {
   std::function<Buffer(const Buffer&)> make_private_data_;
   std::function<void(Established)> on_accept_;
   std::function<std::optional<QpNum>()> qp_supplier_;
+  std::function<std::optional<Errc>()> admission_gate_;
 };
 
 struct ConnectOptions {

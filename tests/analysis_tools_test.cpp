@@ -386,6 +386,11 @@ TEST(XrStat, JsonIsWellFormedAndCarriesChannelsAndMetrics) {
   EXPECT_NE(json.find("\"state\":\"ESTABLISHED\""), std::string::npos);
   EXPECT_NE(json.find("\"msgs_tx\":3"), std::string::npos);
   EXPECT_NE(json.find("\"chan.msgs_tx\":3"), std::string::npos);
+  // Lifecycle plane: node state plus per-channel negotiated protocol and
+  // peer drain flag.
+  EXPECT_NE(json.find("\"lifecycle\":\"active\""), std::string::npos);
+  EXPECT_NE(json.find("\"proto_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"peer_draining\":false"), std::string::npos);
   EXPECT_NE(json.find("\"health.peer.1.state\":0"), std::string::npos);
   // Balanced braces/brackets and no raw newlines: machine-readable as one
   // line per node.
