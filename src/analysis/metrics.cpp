@@ -127,6 +127,10 @@ void ContextMetrics::refresh() {
     agg.drains_tx += s.drains_tx;
     agg.drains_rx += s.drains_rx;
     agg.drain_recovery_parks += s.drain_recovery_parks;
+    agg.doorbells += s.doorbells;
+    agg.doorbell_wrs += s.doorbell_wrs;
+    agg.inline_sends += s.inline_sends;
+    agg.eager_copies_avoided += s.eager_copies_avoided;
     if (ch->usable()) ++established;
     inflight += ch->inflight_msgs();
     queued += ch->queued_msgs();
@@ -174,6 +178,15 @@ void ContextMetrics::refresh() {
   reg_.counter("chan.drains_tx") = agg.drains_tx;
   reg_.counter("chan.drains_rx") = agg.drains_rx;
   reg_.counter("recovery.drain_parks") = agg.drain_recovery_parks;
+  // Batched hot path (doorbell coalescing + inline sends).
+  reg_.counter("chan.doorbells") = agg.doorbells;
+  reg_.counter("chan.inline_sends") = agg.inline_sends;
+  reg_.counter("mem.eager_copies_avoided") = agg.eager_copies_avoided;
+  reg_.gauge("chan.wrs_per_doorbell") =
+      agg.doorbells > 0
+          ? static_cast<double>(agg.doorbell_wrs) /
+                static_cast<double>(agg.doorbells)
+          : 0.0;
   reg_.gauge("chan.established") = static_cast<double>(established);
   reg_.gauge("chan.inflight") = static_cast<double>(inflight);
   reg_.gauge("chan.queued") = static_cast<double>(queued);

@@ -44,6 +44,7 @@ const char* to_string(RecEvent e) {
     case RecEvent::drain_rx: return "drain_rx";
     case RecEvent::hdr_version_reject: return "hdr_version_reject";
     case RecEvent::proto_negotiated: return "proto_negotiated";
+    case RecEvent::batch_flush: return "batch_flush";
   }
   return "unknown";
 }
@@ -62,7 +63,7 @@ const char* to_string(TrigReason r) {
 namespace {
 
 constexpr std::uint16_t kLastEvent =
-    static_cast<std::uint16_t>(RecEvent::proto_negotiated);
+    static_cast<std::uint16_t>(RecEvent::batch_flush);
 
 std::size_t round_pow2(std::uint32_t v) {
   std::size_t p = 1;

@@ -82,6 +82,8 @@ enum class RecEvent : std::uint16_t {
   drain_rx = 31,           // peer announced drain; chan=peer, a=retry-after ns
   hdr_version_reject = 32, // decode refused a version; code=HdrDecode, a=len
   proto_negotiated = 33,   // code=effective version, a=features, b=peer range
+  batch_flush = 34,        // chained doorbell; code=WRs posted, a=bytes,
+                           // b=(deferred<<16)|dropped for that flush
 };
 
 /// Why a dump was cut. Written as Rec::code of the `trigger` record and as

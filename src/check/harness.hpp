@@ -23,6 +23,9 @@
 //  12. breaker consistency: no CM connect slips past a closed breaker gate
 //  13. drain courtesy: an announced drain is graded `draining`, never
 //      suspect/dead, and trips no breaker for its whole window
+//  14. doorbell-batch conservation: every WR that entered a channel's batch
+//      accumulator is posted, deferred to flow control, or dropped with its
+//      channel — never lost in the accumulator, never double-posted
 //
 // Lifecycle shapes (drain_cycles / mixed_versions) are driven by the
 // harness itself — a drain is an administrative act, not a fault, so it
@@ -92,6 +95,17 @@ struct RunReport {
   std::uint64_t drain_suppressions = 0;
   std::uint64_t drain_recovery_parks = 0;
   std::uint64_t lifecycle_rejects = 0;
+  // Batching exercise counters (summed across all contexts at quiesce):
+  // the batching shape asserts chains actually formed (accumulated > 0,
+  // wrs-per-doorbell > 1 somewhere) and inline sends actually fired —
+  // a green sweep that never exercised the fast path proves nothing.
+  std::uint64_t batch_accumulated = 0;
+  std::uint64_t batch_posted = 0;
+  std::uint64_t batch_deferred = 0;
+  std::uint64_t batch_dropped = 0;
+  std::uint64_t inline_sends = 0;
+  std::uint64_t doorbells = 0;
+  std::uint64_t doorbell_wrs = 0;
   std::uint64_t span_posts = 0;
   std::uint64_t span_delivers = 0;
   std::uint64_t oracle_observations = 0;

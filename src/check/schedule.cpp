@@ -98,7 +98,16 @@ Schedule generate_schedule(std::uint64_t seed, ScheduleParams params) {
       }
     }
     if (op.kind == OpKind::send || op.kind == OpKind::call) {
-      op.size = sizes[rng.next_below(sizes.size())];
+      if (params.batch_shape > 0 && rng.next_below(100) < 80) {
+        // Batching shape: bias toward inline-eligible eager sizes
+        // (straddling the default inline_max = 256) so multi-WR chains
+        // actually form and the inline path carries real traffic.
+        static const std::uint32_t kSmall[] = {0,   1,   63,  64, 65,
+                                               128, 255, 256, 257};
+        op.size = kSmall[rng.next_below(9)];
+      } else {
+        op.size = sizes[rng.next_below(sizes.size())];
+      }
       op.tag = rng.next_u64() | 1;
     }
     s.ops.push_back(op);
@@ -169,6 +178,26 @@ Schedule generate_schedule(std::uint64_t seed, ScheduleParams params) {
       s.faults.push_back(up);
     }
   }
+  if (params.batch_shape > 0) {
+    // Mid-chain kills: a qp_kill ~300 ns after a send lands inside the
+    // send-path delay / accumulator window, so whole chains die between
+    // accumulation and doorbell — the conservation oracle (14) must still
+    // balance every WR as posted, deferred or dropped.
+    std::uint32_t added = 0;
+    for (const Op& op : s.ops) {
+      if (op.kind != OpKind::send) continue;
+      if (rng.next_below(100) >= 10) continue;
+      FaultOp f;
+      f.at = op.at + 300;
+      f.kind = analysis::FaultKind::qp_kill;
+      f.src = op.src;
+      f.dst = op.dst;
+      f.slot = op.slot;
+      f.node = op.src;
+      s.faults.push_back(f);
+      if (++added >= 6) break;  // a handful keeps quiesce tractable
+    }
+  }
   std::stable_sort(s.faults.begin(), s.faults.end(),
                    [](const FaultOp& a, const FaultOp& b) {
                      return a.at < b.at;
@@ -190,7 +219,8 @@ std::string serialize_schedule(const Schedule& s) {
       << " membudget " << p.mem_budget_mb << " flap " << p.flap_cycles
       << " brownout " << p.brownout_delay_us << " adaptive "
       << (p.health_adaptive ? 1 : 0) << " drain " << p.drain_cycles
-      << " mixedver " << (p.mixed_versions ? 1 : 0) << "\n";
+      << " mixedver " << (p.mixed_versions ? 1 : 0) << " batching "
+      << p.batch_shape << "\n";
   for (const Op& op : s.ops) {
     out << "op " << op.at << " " << to_string(op.kind) << " "
         << unsigned{op.src} << " " << unsigned{op.dst} << " "
@@ -242,6 +272,7 @@ bool deserialize_schedule(const std::string& text, Schedule& out) {
         else if (key == "adaptive") p.health_adaptive = value != 0;
         else if (key == "drain") p.drain_cycles = static_cast<std::uint32_t>(value);
         else if (key == "mixedver") p.mixed_versions = value != 0;
+        else if (key == "batching") p.batch_shape = static_cast<std::uint32_t>(value);
         else return false;
       }
     } else if (word == "op") {

@@ -101,6 +101,14 @@ struct ScheduleParams {
   // (the "old build"), odd hosts negotiate down to v1 on mixed pairs —
   // rolling-upgrade conformance. Off = whole cluster at the current max.
   bool mixed_versions = false;
+  // Batching shape (PR 8). Nonzero skews the workload toward small eager
+  // sends (chains actually form), randomizes the batching/inline knobs
+  // per node (tx_batch_max_wrs in {1,2,4,8,16}, inline_max in {0,64,256},
+  // alternating poll-end flush) and injects qp_kill faults shortly after
+  // send bursts so chains die mid-flight — the conservation oracle (14)
+  // must still balance. The value seeds the per-node knob draw so replay
+  // files pin it. 0 = off (legacy replay files decode to 0).
+  std::uint32_t batch_shape = 0;
 };
 
 struct Schedule {

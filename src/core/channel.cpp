@@ -268,13 +268,21 @@ bool Channel::emit_data(PendingSend& p) {
                        : ctx_.trace_epoch() ^ (id_ << 24) ^ seq;
   }
 
+  // Inline eligibility (IBV_SEND_INLINE): small eager payloads ride in the
+  // WQE itself — no MemCache staging block to allocate or copy into, and
+  // no tx DMA stage at the NIC. Bounded by both our policy knob and the
+  // NIC's inline capacity (the wire message includes the header).
+  const bool use_inline =
+      !tx_override_ && !large && cfg.inline_max > 0 && len <= cfg.inline_max &&
+      hdr.wire_size() + len <= ctx_.nic().config().max_inline_data;
+
   // Allocate everything up front: a failed allocation must leave the
   // message queued and the window/ack state untouched so the mem-retry
   // timer can try again (the old path failed the whole channel here).
   MemBlock payload_block;
   MemBlock wire_block;
   std::uint32_t wire_len = 0;
-  if (!tx_override_) {
+  if (!tx_override_ && !use_inline) {
     if (large) {
       payload_block = p.zc_block;
       if (!payload_block.valid()) {
@@ -354,6 +362,14 @@ bool Channel::emit_data(PendingSend& p) {
   }
 
   if (!large) {
+    if (use_inline) {
+      ent->hdr = hdr;
+      ent->inline_copy = p.payload;  // retransmit source; no wire block
+      ++stats_.inline_sends;
+      ++stats_.eager_copies_avoided;
+      post_wire_inline(hdr, p.payload);
+      return true;
+    }
     std::uint8_t* dst = ctx_.ctrl_cache_.data(wire_block);
     hdr.encode(dst);
     if (len > 0 && p.payload.data()) {
@@ -418,7 +434,51 @@ void Channel::post_wire(const WireHeader& hdr, MemBlock block,
         ch && (ch->state_ == State::established ||
                ch->state_ == State::closing) &&
         ch->qp_.valid()) {
-      ctx->post_or_queue(*ch, wr);
+      ctx->accumulate_wr(*ch, wr);
+    }
+  });
+}
+
+void Channel::post_wire_inline(const WireHeader& hdr, const Buffer& payload) {
+  const Config& cfg = ctx_.config();
+  const std::uint32_t len = hdr.payload_len;
+  const std::uint32_t wire_len = hdr.wire_size() + len;
+  Buffer wire = Buffer::make(wire_len);
+  hdr.encode(wire.data());
+  if (len > 0 && payload.data() && !payload.is_synthetic()) {
+    std::memcpy(wire.data() + hdr.wire_size(), payload.data(), len);
+  }
+  // Egress fault injection mirrors post_wire; the wire bytes live in the
+  // WQE-carried buffer, so corruption mutates that copy directly.
+  Nanos extra = 0;
+  if (ctx_.egress_filter_) {
+    const auto d = ctx_.egress_filter_(*this, hdr);
+    if (d.action == Context::FilterAction::drop) {
+      ++stats_.egress_drops;
+      return;
+    }
+    if (d.action == Context::FilterAction::delay) extra = d.delay;
+    if (d.action == Context::FilterAction::corrupt) {
+      wire.data()[d.corrupt_seed % wire_len] ^= 0x40;
+    }
+  }
+  verbs::SendWr wr;
+  wr.wr_id = ctx_.register_wr(
+      {Context::WrInfo::Kind::data_send, id_, 0, 0, MemBlock{}, false});
+  wr.opcode = verbs::Opcode::send_imm;
+  wr.imm = static_cast<std::uint32_t>(rwin_.last_ack_sent());
+  wr.local = {0, wire_len, 0};  // length only; no MR backs an inline WQE
+  wr.inline_data = true;
+  wr.inline_payload = wire;
+  Nanos cost = cfg.send_path_overhead;
+  if (cfg.reqrsp_mode) cost += cfg.trace_overhead;
+  const std::uint64_t chan_id = id_;
+  ctx_.engine().schedule_after(cost + extra, [ctx = &ctx_, chan_id, wr] {
+    if (Channel* ch = ctx->channel_by_id(chan_id);
+        ch && (ch->state_ == State::established ||
+               ch->state_ == State::closing) &&
+        ch->qp_.valid()) {
+      ctx->accumulate_wr(*ch, wr);
     }
   });
 }
@@ -495,7 +555,10 @@ void Channel::post_control(std::uint16_t flags, std::uint64_t aux_id,
   wr.local = {block.addr, hdr.wire_size(), block.lkey};
   // Control bypasses the flow-control queue: it is tiny and carries the
   // acks that unblock everything else.
-  if (qp_.post_send(wr) != Errc::ok) {
+  if (qp_.post_send(wr) == Errc::ok) {
+    ++stats_.doorbells;
+    ++stats_.doorbell_wrs;
+  } else {
     ctx_.release_wr(wr.wr_id);
     ctx_.ctrl_cache_.free(block);
   }
@@ -1032,6 +1095,8 @@ void Channel::keepalive_fire() {
       {Context::WrInfo::Kind::keepalive, id_, 0, 0, MemBlock{}, false});
   wr.opcode = verbs::Opcode::write;
   if (qp_.post_send(wr) == Errc::ok) {
+    ++stats_.doorbells;
+    ++stats_.doorbell_wrs;
     ++stats_.keepalive_probes;
     if (!keepalive_outstanding_) keepalive_posted_ = now;
     keepalive_outstanding_ = true;
@@ -1084,6 +1149,10 @@ void Channel::close() {
   // A closing channel can never deliver responses: complete outstanding
   // RPCs now instead of letting them ride to their timeouts.
   abort_calls(Errc::channel_closed);
+  // The FIN posts directly below; chained data still parked in the batch
+  // accumulator must ring its doorbell first or the FIN overtakes it in
+  // the FIFO send queue and the peer drops the data as post-close.
+  ctx_.flush_tx_batch(*this);
   post_control(kFlagFin);
   // FIN deadline: nothing else watches a closing channel (keepalive stands
   // down), so a FIN that dies with its QP — post failure or a lost WC —
@@ -1503,8 +1572,19 @@ void Channel::retransmit_entry(Seq seq, TxEntry& e) {
     return;
   }
 
-  // Emitted over the fallback originally (no wire block): rebuild for RDMA.
   const Config& cfg = ctx_.config();
+  // Inline-sent originally (wire bytes rode in the WQE, no staging block):
+  // replay down the same inline path instead of rebuilding a wire block.
+  if (!e.payload_block.valid() && len <= cfg.small_msg_size &&
+      cfg.inline_max > 0 && len <= cfg.inline_max &&
+      hdr.wire_size() + len <= ctx_.nic().config().max_inline_data) {
+    e.hdr = hdr;
+    ++stats_.inline_sends;
+    post_wire_inline(hdr, e.inline_copy);
+    return;
+  }
+
+  // Emitted over the fallback originally (no wire block): rebuild for RDMA.
   if (len > cfg.small_msg_size && !e.payload_block.valid()) {
     hdr.flags |= kFlagLarge;
     MemBlock payload_block = ctx_.data_cache_.alloc(len);

@@ -201,6 +201,10 @@ class Channel {
   /// leaving `p` untouched (still queued) for the mem-retry timer.
   bool emit_data(PendingSend& p);
   void post_wire(const WireHeader& hdr, MemBlock block, std::uint32_t len);
+  /// Inline-send variant of post_wire: the wire message (header + payload)
+  /// is built into a heap buffer that rides in the WQE itself — no
+  /// MemCache staging block, no tx DMA stage at the NIC.
+  void post_wire_inline(const WireHeader& hdr, const Buffer& payload);
   /// Windowless control message. `aux_id`/`aux` ride in rpc_id/rv_addr
   /// (kFlagNak: the NAK'd seq and the retry-after hint in ns).
   void post_control(std::uint16_t flags, std::uint64_t aux_id = 0,
@@ -279,6 +283,11 @@ class Channel {
   RecvWindow<RxState> rwin_;
   std::deque<PendingSend> pending_tx_;
   std::uint64_t pending_tx_bytes_ = 0;
+  // Doorbell-coalescing accumulator (owned logically by Context, which
+  // posts the chain; lives here so per-channel FIFO order is structural).
+  std::vector<verbs::SendWr> tx_batch_;
+  std::uint64_t tx_batch_bytes_ = 0;
+  bool batch_flush_scheduled_ = false;
   bool tx_blocked_ = false;          // a send was rejected; edge for writable
   bool retransmit_pending_ = false;  // retransmit parked on memory pressure
   std::unique_ptr<sim::DeadlineTimer> mem_retry_timer_;

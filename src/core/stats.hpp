@@ -55,6 +55,11 @@ struct ChannelStats {
   std::uint64_t drains_tx = 0;          // DRAIN announcements sent
   std::uint64_t drains_rx = 0;          // DRAIN announcements received
   std::uint64_t drain_recovery_parks = 0;  // retry ladders parked: peer drains
+  // Batched hot path (doorbell coalescing + inline sends).
+  std::uint64_t doorbells = 0;          // doorbell rings for this channel
+  std::uint64_t doorbell_wrs = 0;       // WRs those doorbells carried
+  std::uint64_t inline_sends = 0;       // eager sends carried in the WQE
+  std::uint64_t eager_copies_avoided = 0;  // MemCache staging copies skipped
 };
 
 /// Context-wide health-plane counters (aggregated across peers by the

@@ -34,8 +34,12 @@ struct RnicConfig {
   std::uint32_t header_bytes = 64;   // per-packet wire overhead (RoCEv2-ish)
   std::uint32_t ack_bytes = 64;
 
-  // Processing latency model.
-  Nanos tx_overhead = nanos(600);        // WQE fetch + doorbell + DMA setup
+  // Processing latency model. The tx cost is split so WR chaining is
+  // measurable: a doorbell ring (MMIO write + scheduling) is paid once per
+  // post, the WQE fetch once per WR in the chain. A single-WR post costs
+  // doorbell + fetch = 600 ns, the pre-split calibration constant.
+  Nanos doorbell_overhead = nanos(250);  // MMIO doorbell + QP scheduling
+  Nanos wqe_fetch_overhead = nanos(350); // per-WQE fetch + DMA setup
   Nanos rx_overhead = nanos(600);        // packet steering + DMA + CQE write
   // Control packets (acks, CNPs) and read/atomic requests are served in
   // the NIC pipeline without host-path DMA + CQE cost.
@@ -43,6 +47,9 @@ struct RnicConfig {
   Nanos dma_latency = nanos(300);        // PCIe round trip folded per message
   Nanos qp_cache_miss_penalty = nanos(150);
   std::uint32_t qp_cache_entries = 1024; // on-NIC QP context SRAM (§VII-F)
+  // IBV_SEND_INLINE ceiling: payload carried in the WQE itself, skipping
+  // the payload DMA fetch. Sized to fit a wire header + 256 B eager data.
+  std::uint32_t max_inline_data = 512;
 
   // Reliability.
   // IB transport timers are long (hundreds of ms); congested fabrics must

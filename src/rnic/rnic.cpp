@@ -235,6 +235,7 @@ Errc Rnic::modify_qp(QpNum qpn, const QpAttr& attr) {
     qp->retry_used = 0;
     qp->unacked_pkts = 0;
     qp->gated_until = 0;
+    qp->tx_pipe_busy_until = 0;
     qp->nak_sent_for_gap = false;
     qp->dcqcn = Dcqcn(config_.dcqcn, config_.line_rate_gbps);
     qp->state = QpState::reset;
@@ -266,40 +267,81 @@ Errc Rnic::post_recv(QpNum qpn, const RecvWr& wr) {
   return Errc::ok;
 }
 
-Errc Rnic::post_send(QpNum qpn, const SendWr& wr) {
-  Qp* qp = find_qp(qpn);
-  if (!qp) return Errc::not_found;
-  if (qp->state != QpState::rts) return Errc::invalid_argument;
-  if (qp->sq.size() >= qp->caps.max_send_wr) return Errc::resource_exhausted;
-
-  // Local SGE validation at post time, like a real NIC's WQE check.
-  if (wr.local.length > 0) {
+Errc Rnic::validate_send(Qp& qp, const SendWr& wr) {
+  if (qp.state != QpState::rts) return Errc::invalid_argument;
+  const bool is_atomic = wr.opcode == Opcode::atomic_fetch_add ||
+                         wr.opcode == Opcode::atomic_cmp_swap;
+  if (wr.inline_data) {
+    // Inline payloads ride in the WQE: no MR, but a hard size ceiling, and
+    // only for the payload-carrying two-sided / write opcodes.
+    if (wr.opcode != Opcode::send && wr.opcode != Opcode::send_imm &&
+        wr.opcode != Opcode::write && wr.opcode != Opcode::write_imm) {
+      return Errc::invalid_argument;
+    }
+    if (wr.local.length > config_.max_inline_data) {
+      return Errc::payload_too_large;
+    }
+  } else if (wr.local.length > 0) {
+    // Local SGE validation at post time, like a real NIC's WQE check.
     Mr* mr = find_mr_by_lkey(wr.local.lkey);
     if (!mr || wr.local.addr < mr->info.addr ||
         wr.local.addr + wr.local.length > mr->info.addr + mr->info.size) {
       return Errc::local_protection_error;
     }
   }
-  const bool is_atomic = wr.opcode == Opcode::atomic_fetch_add ||
-                         wr.opcode == Opcode::atomic_cmp_swap;
   if (is_atomic && wr.local.length != 8) return Errc::invalid_argument;
-  if (qp->type == QpType::ud) {
+  if (qp.type == QpType::ud) {
     if (wr.opcode != Opcode::send && wr.opcode != Opcode::send_imm) {
       return Errc::invalid_argument;  // UD supports two-sided only
     }
     if (wr.local.length > config_.mtu) return Errc::payload_too_large;
     if (wr.dest_node == net::kInvalidNode) return Errc::invalid_argument;
   }
+  return Errc::ok;
+}
 
-  PendingWr pending;
-  pending.wr = wr;
-  pending.msg_id = qp->next_msg_id++;
-  // Reads and atomics carry no payload, so no DMA fetch happens at post.
-  const bool no_payload_dma = wr.opcode == Opcode::read || is_atomic;
-  pending.eligible_at = engine_.now() + config_.tx_overhead +
-                        (no_payload_dma ? 0 : config_.dma_latency) +
-                        touch_qp_cache(qpn);
-  qp->sq.push_back(std::move(pending));
+Errc Rnic::post_send(QpNum qpn, const SendWr& wr) {
+  return post_send(qpn, &wr, 1);
+}
+
+Errc Rnic::post_send(QpNum qpn, const SendWr* wrs, std::size_t count) {
+  Qp* qp = find_qp(qpn);
+  if (!qp) return Errc::not_found;
+  if (count == 0) return Errc::invalid_argument;
+  // All-or-nothing: the whole chain must fit and every WQE must validate
+  // before anything lands in the send queue.
+  if (qp->sq.size() + count > qp->caps.max_send_wr) {
+    return Errc::resource_exhausted;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const Errc rc = validate_send(*qp, wrs[i]);
+    if (rc != Errc::ok) return rc;
+  }
+
+  // One doorbell (and one QP-context touch) for the chain; each WQE then
+  // pays its own fetch, and a payload DMA unless the data is inline or the
+  // opcode carries none. Consecutive posts on one QP serialize through the
+  // same tx pipeline, so a chain's saved doorbells are real wins.
+  Nanos at = std::max(engine_.now(), qp->tx_pipe_busy_until) +
+             config_.doorbell_overhead + touch_qp_cache(qpn);
+  ++stats_.doorbells;
+  for (std::size_t i = 0; i < count; ++i) {
+    const SendWr& wr = wrs[i];
+    const bool no_payload_dma =
+        wr.inline_data || wr.opcode == Opcode::read ||
+        wr.opcode == Opcode::atomic_fetch_add ||
+        wr.opcode == Opcode::atomic_cmp_swap;
+    at += config_.wqe_fetch_overhead +
+          (no_payload_dma ? 0 : config_.dma_latency);
+    PendingWr pending;
+    pending.wr = wr;
+    pending.msg_id = qp->next_msg_id++;
+    pending.eligible_at = at;
+    qp->sq.push_back(std::move(pending));
+    ++stats_.wrs_posted;
+    if (wr.inline_data) ++stats_.inline_wrs;
+  }
+  qp->tx_pipe_busy_until = at;
   mark_ready(*qp);
   return Errc::ok;
 }
@@ -481,6 +523,17 @@ RnicPacketPtr Rnic::segment_next(Qp& qp) {
   ip.rnr_budget = qp.attr.rnr_retry;
 
   auto fill_data = [&](std::uint32_t off, std::uint32_t frag) {
+    if (wr.inline_data) {
+      // Payload came in the WQE — no MR walk, no DMA fetch.
+      if (frag > 0 && wr.inline_payload.data() &&
+          !wr.inline_payload.is_synthetic()) {
+        pkt->data = Buffer::make(frag);
+        std::memcpy(pkt->data.data(), wr.inline_payload.data() + off, frag);
+      } else {
+        pkt->data = Buffer::synthetic(frag);
+      }
+      return;
+    }
     Mr* mr = wr.local.length > 0 ? find_mr_by_lkey(wr.local.lkey) : nullptr;
     if (mr && mr->real && frag > 0) {
       pkt->data = Buffer::make(frag);

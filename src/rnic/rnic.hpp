@@ -80,6 +80,11 @@ class Rnic {
   std::size_t num_qps() const { return qps_.size(); }
 
   Errc post_send(QpNum qpn, const SendWr& wr);
+  /// Chained post: `count` WRs ring one doorbell and pay one QP-context
+  /// cache touch; each WR still pays its own WQE fetch (and payload DMA
+  /// unless inline). All-or-nothing — validation failures (including send
+  /// queue headroom for the whole chain) enqueue none of the WRs.
+  Errc post_send(QpNum qpn, const SendWr* wrs, std::size_t count);
   Errc post_recv(QpNum qpn, const RecvWr& wr);
   std::size_t send_queue_depth(QpNum qpn) const;
 
@@ -203,6 +208,10 @@ class Rnic {
     bool in_ready_ring = false;
     bool timer_armed = false;
     Nanos last_progress = 0;
+    // TX pipeline serialization point: WQE fetch + DMA setup for
+    // consecutive posts on one QP go through the same engine, so a WR's
+    // eligible_at starts where the previous one left off.
+    Nanos tx_pipe_busy_until = 0;
 
     explicit Qp(const RnicConfig& cfg)
         : dcqcn(cfg.dcqcn, cfg.line_rate_gbps) {}
@@ -222,6 +231,7 @@ class Rnic {
   void flush_queues(Qp& qp, Errc head_reason);
 
   // TX path.
+  Errc validate_send(Qp& qp, const SendWr& wr);
   void mark_ready(Qp& qp);
   void schedule_pump(Nanos at);
   void pump();

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "net/packet.hpp"
 
@@ -65,6 +66,13 @@ struct SendWr {
   // UD only: datagram destination.
   net::NodeId dest_node = net::kInvalidNode;
   QpNum dest_qp = kInvalidId;
+  // IBV_SEND_INLINE: the payload rides in the WQE itself. `local.addr` /
+  // `local.lkey` are ignored (no MR needed); `local.length` still gives
+  // the size and must stay within RnicConfig::max_inline_data. The bytes
+  // live in `inline_payload` — copied out at post time semantically, so
+  // the NIC charges no payload DMA fetch.
+  bool inline_data = false;
+  Buffer inline_payload = {};
 };
 
 struct RecvWr {
@@ -124,6 +132,11 @@ struct RnicStats {
   std::uint64_t qp_errors = 0;
   std::uint64_t qp_cache_hits = 0;
   std::uint64_t qp_cache_misses = 0;
+  // Doorbell-batching decomposition: every post_send rings one doorbell;
+  // a chained post rings one for the whole chain.
+  std::uint64_t doorbells = 0;
+  std::uint64_t wrs_posted = 0;
+  std::uint64_t inline_wrs = 0;
 };
 
 }  // namespace xrdma::rnic

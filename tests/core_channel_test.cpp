@@ -454,6 +454,117 @@ TEST(Channel, ManyMessagesBothDirectionsNoLossNoLeak) {
 }
 
 // ---------------------------------------------------------------------------
+// Doorbell batching & inline sends (§V). The hot path chains same-tick WRs
+// behind one doorbell and carries small eager payloads in the WQE itself;
+// these pin the inline_max boundary, the zero-byte edge, the chain-vs-WR-cap
+// interaction and the retransmit of an inline-sent message.
+
+TEST(ChannelBatch, InlineBoundaryPayloads) {
+  Pair t;
+  t.establish();
+  const std::uint32_t inline_max = t.client.config().inline_max;  // 256
+  std::vector<Buffer> received;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { received.push_back(std::move(m.payload)); });
+
+  const std::vector<std::uint32_t> sizes = {inline_max - 1, inline_max,
+                                            inline_max + 1};
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    Buffer b = Buffer::make(sizes[i]);
+    fill_pattern(b, 100 + i);
+    ASSERT_EQ(t.client_ch->send_msg(std::move(b)), Errc::ok);
+  }
+  t.run(millis(5));
+
+  ASSERT_EQ(received.size(), 3u);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ASSERT_EQ(received[i].size(), sizes[i]);
+    EXPECT_TRUE(check_pattern(received[i], 100 + i));
+  }
+  // At and below inline_max the payload rode the WQE (no staging copy);
+  // one byte over fell back to the copy-out path.
+  EXPECT_EQ(t.client_ch->stats().inline_sends, 2u);
+  EXPECT_EQ(t.client_ch->stats().eager_copies_avoided, 2u);
+  EXPECT_EQ(t.cluster.rnic(0).stats().inline_wrs, 2u);
+}
+
+TEST(ChannelBatch, ZeroByteInlineSendDelivers) {
+  Pair t;
+  t.establish();
+  std::size_t deliveries = 0, bytes = 1;
+  t.server_ch->set_on_msg([&](Channel&, Msg&& m) {
+    ++deliveries;
+    bytes = m.payload.size();
+  });
+  ASSERT_EQ(t.client_ch->send_msg(Buffer::make(0)), Errc::ok);
+  t.run(millis(5));
+  EXPECT_EQ(deliveries, 1u);
+  EXPECT_EQ(bytes, 0u);
+  EXPECT_EQ(t.client_ch->stats().inline_sends, 1u);
+}
+
+TEST(ChannelBatch, ChainStraddlesWrFlowControlCap) {
+  // A same-tick burst accumulates into a chain wider than the outstanding-WR
+  // credit window: the flush must post the creditable prefix and route the
+  // tail through the deferred queue — and the conservation ledger balances.
+  Config cfg;
+  cfg.max_outstanding_wrs = 4;
+  cfg.tx_batch_max_wrs = 16;
+  Pair t(cfg);
+  t.establish();
+  int delivered = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&&) { ++delivered; });
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_EQ(t.client_ch->send_msg(Buffer::make(64)), Errc::ok);
+  }
+  t.run(millis(20));
+  EXPECT_EQ(delivered, 30);
+  EXPECT_GT(t.client.batch_accumulated(), 0u);
+  EXPECT_GT(t.client.batch_deferred(), 0u);  // tail WRs outlived the credits
+  EXPECT_EQ(t.client.batch_accumulated(),
+            t.client.batch_posted() + t.client.batch_deferred() +
+                t.client.batch_dropped() + t.client.batch_pending());
+  EXPECT_EQ(t.client.batch_pending(), 0u);
+  // Chains actually formed: the doorbells carried more WRs than rings.
+  EXPECT_GT(t.client_ch->stats().doorbell_wrs,
+            t.client_ch->stats().doorbells);
+}
+
+TEST(ChannelBatch, InlineSentMessageRetransmitsAfterQpKill) {
+  // An inline-sent message keeps no wire block to replay from — the window
+  // entry holds the payload copy. Kill the QP before anything is acked and
+  // the recovery retransmit must ride the inline path again, delivering
+  // exactly once.
+  Config cfg;
+  cfg.ack_every = 1000;  // acks only via the NOP deadlock path: stay unacked
+  Pair t(cfg);
+  t.establish();
+  analysis::Filter filter(t.server, /*seed=*/31);
+  std::vector<Buffer> received;
+  t.server_ch->set_on_msg(
+      [&](Channel&, Msg&& m) { received.push_back(std::move(m.payload)); });
+
+  for (int i = 0; i < 5; ++i) {
+    Buffer b = Buffer::make(128);
+    fill_pattern(b, 200 + i);
+    ASSERT_EQ(t.client_ch->send_msg(std::move(b)), Errc::ok);
+  }
+  // Kill before the first packet lands: the resume handshake then finds
+  // nothing acked and every entry must replay.
+  filter.kill_qp_after(t.server_ch->id(), micros(1));
+  t.run(millis(80));
+
+  ASSERT_EQ(received.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(received[i].size(), 128u);
+    EXPECT_TRUE(check_pattern(received[i], 200 + i));
+  }
+  EXPECT_GE(t.server_ch->stats().recoveries_started, 1u);
+  // The replays went inline too: more inline sends than messages.
+  EXPECT_GT(t.client_ch->stats().inline_sends, 5u);
+}
+
+// ---------------------------------------------------------------------------
 // Fragmentation boundaries (§V-C). With frag_size = 64 KB, the pull loop's
 // fragment count flips exactly at the 64 KB edge; these pin the off-by-one
 // behaviour on both sides of it and the content integrity across the seam.

@@ -195,6 +195,33 @@ TEST(Lifecycle, DrainFlushesInFlightThenClosesAndCompletes) {
   EXPECT_EQ(t.client.stats().drain_latency.count(), 1u);
 }
 
+TEST(Lifecycle, DrainFlushesAccumulatedChainBeforeFin) {
+  // A same-tick burst is still riding the batch accumulator when the drain
+  // starts: the drain's flush-then-close must ring the chain's doorbell
+  // before the FIN posts, or the peer drops the data as post-close.
+  Config cfg = fast_cfg();
+  cfg.tx_batch_max_wrs = 16;
+  VersionedPair t(cfg, cfg);
+  t.establish();
+  ASSERT_NE(t.client_ch, nullptr);
+  int delivered = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&&) { ++delivered; });
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(t.client_ch->send_msg(Buffer::make(128)), Errc::ok);
+  }
+  t.client.begin_drain();
+  t.run(millis(40));
+  EXPECT_EQ(delivered, 8);  // the whole chain beat the FIN
+  EXPECT_EQ(t.client.lifecycle(), Lifecycle::drained);
+  EXPECT_EQ(t.client_ch->state(), Channel::State::closed);
+  EXPECT_EQ(t.client.batch_accumulated(),
+            t.client.batch_posted() + t.client.batch_deferred() +
+                t.client.batch_dropped() + t.client.batch_pending());
+  EXPECT_EQ(t.client.batch_pending(), 0u);
+  EXPECT_GT(t.client_ch->stats().doorbell_wrs,
+            t.client_ch->stats().doorbells);
+}
+
 TEST(Lifecycle, DrainWithInFlightRendezvousPullCompletesZeroLoss) {
   // A 256 KB rendezvous message is mid-pull when the drain starts: the
   // draining sender must hold the channel open until the reader finishes.

@@ -82,6 +82,39 @@ TEST(Overload, BoundedQueueRejectsThenSignalsWritable) {
   EXPECT_EQ(delivered, 7);
 }
 
+TEST(Overload, WouldBlockMidBurstKeepsAccumulatedChainIntact) {
+  // The admission reject lands while earlier messages from the same burst
+  // are still parked in the doorbell-batch accumulator: the reject must not
+  // disturb the chain — every accepted message flushes and delivers, every
+  // rejected one stays invisible (oracle 10), and the conservation ledger
+  // balances with nothing left pending.
+  Config cfg;
+  cfg.window_depth = 4;
+  cfg.tx_queue_max_msgs = 4;
+  cfg.tx_batch_max_wrs = 16;  // wider than the whole admitted burst
+  AsymPair t(cfg, cfg);
+  t.establish();
+  int delivered = 0;
+  t.server_ch->set_on_msg([&](Channel&, Msg&&) { ++delivered; });
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 12; ++i) {
+    const Errc rc = t.client_ch->send_msg(Buffer::make(128));
+    if (rc == Errc::ok) ++accepted;
+    if (rc == Errc::would_block) ++rejected;
+  }
+  EXPECT_EQ(accepted, 8);  // window (4) + queue (4)
+  EXPECT_EQ(rejected, 4);
+  t.run(millis(10));
+  EXPECT_EQ(delivered, accepted);
+  EXPECT_EQ(t.client.batch_accumulated(),
+            t.client.batch_posted() + t.client.batch_deferred() +
+                t.client.batch_dropped() + t.client.batch_pending());
+  EXPECT_EQ(t.client.batch_pending(), 0u);
+  // The burst actually chained: doorbells carried more than one WR each.
+  EXPECT_GT(t.client_ch->stats().doorbell_wrs,
+            t.client_ch->stats().doorbells);
+}
+
 TEST(Overload, EmptyQueueAdmitsPayloadLargerThanByteCap) {
   Config cfg;
   cfg.window_depth = 1;

@@ -596,6 +596,111 @@ TEST(QpCache, MissesTrackedWhenWorkingSetExceedsSram) {
   EXPECT_GT(st.qp_cache_hits + st.qp_cache_misses, 0u);
 }
 
+TEST(RcVerbs, ChainedPostRingsOneDoorbell) {
+  RcPair t;
+  Mr smr = t.pd0.reg_mr(4096);
+  Mr rmr = t.pd1.reg_mr(4096);
+  for (int i = 0; i < 4; ++i) {
+    t.qp1.post_recv({.wr_id = static_cast<std::uint64_t>(i),
+                     .sge = {rmr.addr(), 4096, rmr.lkey()}});
+  }
+  const std::uint64_t doorbells_before = t.cluster.rnic(0).stats().doorbells;
+  const std::uint64_t wrs_before = t.cluster.rnic(0).stats().wrs_posted;
+  std::vector<SendWr> chain(4);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    chain[i].wr_id = i;
+    chain[i].opcode = Opcode::send;
+    chain[i].local = {smr.addr(), 64, smr.lkey()};
+  }
+  ASSERT_EQ(t.qp0.post_send_batch(chain.data(), chain.size()), Errc::ok);
+  t.cluster.run();
+  // The whole chain rode one doorbell; each WQE still counted.
+  EXPECT_EQ(t.cluster.rnic(0).stats().doorbells, doorbells_before + 1);
+  EXPECT_EQ(t.cluster.rnic(0).stats().wrs_posted, wrs_before + 4);
+  std::vector<Wc> swc, rwc;
+  RcPair::drain(t.scq0, swc);
+  RcPair::drain(t.rcq1, rwc);
+  ASSERT_EQ(swc.size(), 4u);
+  ASSERT_EQ(rwc.size(), 4u);
+  for (std::size_t i = 0; i < swc.size(); ++i) {
+    EXPECT_EQ(swc[i].wr_id, i);  // completion order == chain order
+    EXPECT_EQ(swc[i].status, Errc::ok);
+  }
+}
+
+TEST(RcVerbs, InlineSendDeliversWithoutLocalMr) {
+  RcPair t;
+  Mr rmr = t.pd1.reg_mr(4096);
+  t.qp1.post_recv({.wr_id = 1, .sge = {rmr.addr(), 4096, rmr.lkey()}});
+  Buffer payload = Buffer::from_string("inline wqe payload");
+  SendWr wr;
+  wr.wr_id = 2;
+  wr.opcode = Opcode::send;
+  wr.local = {0, static_cast<std::uint32_t>(payload.size()), 0};  // no MR
+  wr.inline_data = true;
+  wr.inline_payload = payload;
+  ASSERT_EQ(t.qp0.post_send(wr), Errc::ok);
+  t.cluster.run();
+  EXPECT_EQ(t.cluster.rnic(0).stats().inline_wrs, 1u);
+  std::vector<Wc> rwc;
+  RcPair::drain(t.rcq1, rwc);
+  ASSERT_EQ(rwc.size(), 1u);
+  EXPECT_EQ(rwc[0].status, Errc::ok);
+  EXPECT_EQ(rwc[0].byte_len, payload.size());
+  EXPECT_EQ(std::memcmp(rmr.data(), payload.data(), payload.size()), 0);
+}
+
+TEST(RcVerbs, InlineValidationRejectsBadOpcodeAndOversize) {
+  RcPair t;
+  // Inline is a payload-carrying concept: one-sided reads can't ride it.
+  SendWr rd;
+  rd.wr_id = 1;
+  rd.opcode = Opcode::read;
+  rd.local = {0, 8, 0};
+  rd.inline_data = true;
+  rd.inline_payload = Buffer::make(8);
+  EXPECT_EQ(t.qp0.post_send(rd), Errc::invalid_argument);
+  // And the WQE has a hard ceiling: max_inline_data bytes.
+  SendWr big;
+  big.wr_id = 2;
+  big.opcode = Opcode::send;
+  const std::uint32_t too_big = t.cluster.rnic(0).config().max_inline_data + 1;
+  big.local = {0, too_big, 0};
+  big.inline_data = true;
+  big.inline_payload = Buffer::make(too_big);
+  EXPECT_EQ(t.qp0.post_send(big), Errc::payload_too_large);
+  t.cluster.run();
+  std::vector<Wc> swc;
+  RcPair::drain(t.scq0, swc);
+  EXPECT_TRUE(swc.empty());  // nothing reached the send queue
+}
+
+TEST(RcVerbs, ChainedPostIsAllOrNothing) {
+  RcPair t(QpCaps{.max_send_wr = 4, .max_recv_wr = 16});
+  Mr smr = t.pd0.reg_mr(64);
+  // A 6-WR chain cannot fit a 4-deep SQ: the whole chain must bounce, not
+  // post a 4-WR prefix (the caller's accounting depends on it).
+  std::vector<SendWr> chain(6);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    chain[i].wr_id = i;
+    chain[i].opcode = Opcode::write;
+    chain[i].local = {smr.addr(), 8, smr.lkey()};
+    chain[i].remote_addr = 0;
+    chain[i].rkey = 0;
+  }
+  EXPECT_EQ(t.qp0.post_send_batch(chain.data(), chain.size()),
+            Errc::resource_exhausted);
+  // A chain with one invalid WQE in the middle bounces whole too.
+  chain.resize(3);
+  chain[1].local.lkey = 0xbad;
+  EXPECT_EQ(t.qp0.post_send_batch(chain.data(), chain.size()),
+            Errc::local_protection_error);
+  t.cluster.run();
+  std::vector<Wc> swc;
+  RcPair::drain(t.scq0, swc);
+  EXPECT_TRUE(swc.empty());
+}
+
 TEST(RcVerbs, QpResetClearsStateForReuse) {
   RcPair t;
   Mr smr = t.pd0.reg_mr(64);
