@@ -131,6 +131,12 @@ void ContextMetrics::refresh() {
     agg.doorbell_wrs += s.doorbell_wrs;
     agg.inline_sends += s.inline_sends;
     agg.eager_copies_avoided += s.eager_copies_avoided;
+    agg.crc_stamped_tx += s.crc_stamped_tx;
+    agg.crc_failures_rx += s.crc_failures_rx;
+    agg.integrity_naks_tx += s.integrity_naks_tx;
+    agg.integrity_naks_rx += s.integrity_naks_rx;
+    agg.integrity_retransmits += s.integrity_retransmits;
+    agg.integrity_exhausted += s.integrity_exhausted;
     if (ch->usable()) ++established;
     inflight += ch->inflight_msgs();
     queued += ch->queued_msgs();
@@ -187,6 +193,13 @@ void ContextMetrics::refresh() {
           ? static_cast<double>(agg.doorbell_wrs) /
                 static_cast<double>(agg.doorbells)
           : 0.0;
+  // End-to-end integrity plane (CRC32C TLV + integrity-NAK replay).
+  reg_.counter("integrity.crc_stamped_tx") = agg.crc_stamped_tx;
+  reg_.counter("integrity.crc_failures_rx") = agg.crc_failures_rx;
+  reg_.counter("integrity.naks_tx") = agg.integrity_naks_tx;
+  reg_.counter("integrity.naks_rx") = agg.integrity_naks_rx;
+  reg_.counter("integrity.retransmits") = agg.integrity_retransmits;
+  reg_.counter("integrity.exhausted") = agg.integrity_exhausted;
   reg_.gauge("chan.established") = static_cast<double>(established);
   reg_.gauge("chan.inflight") = static_cast<double>(inflight);
   reg_.gauge("chan.queued") = static_cast<double>(queued);
@@ -241,6 +254,7 @@ void ContextMetrics::refresh() {
   reg_.counter("health.draining_marks") = hs.draining_marks;
   reg_.counter("health.drain_suppressions") = hs.drain_suppressions;
   reg_.counter("health.drain_violations") = hs.drain_violations;
+  reg_.counter("health.crc_storms") = hs.crc_storms;
   double peers_dead = 0, breakers_open = 0, peers_draining = 0;
   const auto views = ctx_.health().peers();
   for (const core::PeerHealthView& pv : views) {

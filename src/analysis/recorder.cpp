@@ -45,6 +45,12 @@ const char* to_string(RecEvent e) {
     case RecEvent::hdr_version_reject: return "hdr_version_reject";
     case RecEvent::proto_negotiated: return "proto_negotiated";
     case RecEvent::batch_flush: return "batch_flush";
+    case RecEvent::crc_fail_rx: return "crc_fail_rx";
+    case RecEvent::integrity_nak_tx: return "integrity_nak_tx";
+    case RecEvent::integrity_nak_rx: return "integrity_nak_rx";
+    case RecEvent::integrity_retransmit: return "integrity_retransmit";
+    case RecEvent::integrity_exhausted: return "integrity_exhausted";
+    case RecEvent::corruption_storm: return "corruption_storm";
   }
   return "unknown";
 }
@@ -63,7 +69,7 @@ const char* to_string(TrigReason r) {
 namespace {
 
 constexpr std::uint16_t kLastEvent =
-    static_cast<std::uint16_t>(RecEvent::batch_flush);
+    static_cast<std::uint16_t>(RecEvent::corruption_storm);
 
 std::size_t round_pow2(std::uint32_t v) {
   std::size_t p = 1;

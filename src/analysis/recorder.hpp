@@ -84,6 +84,15 @@ enum class RecEvent : std::uint16_t {
   proto_negotiated = 33,   // code=effective version, a=features, b=peer range
   batch_flush = 34,        // chained doorbell; code=WRs posted, a=bytes,
                            // b=(deferred<<16)|dropped for that flush
+  // End-to-end integrity plane (e2e_crc).
+  crc_fail_rx = 35,        // frame dropped on CRC mismatch; seq, a=payload_len
+  integrity_nak_tx = 36,   // receiver NAK'd a corrupted frame; seq
+  integrity_nak_rx = 37,   // sender received an integrity NAK; seq
+  integrity_retransmit = 38,  // window entry re-sent on integrity NAK; seq,
+                              // code=retry count for the NAK'd entry
+  integrity_exhausted = 39,   // retry budget spent; seq, code=budget
+  corruption_storm = 40,   // storm detector graded a peer; chan=peer,
+                           // a=CRC failures in the scan
 };
 
 /// Why a dump was cut. Written as Rec::code of the `trigger` record and as

@@ -84,6 +84,19 @@ class Runner {
 
   Nanos now() const { return cluster_->engine().now(); }
 
+  /// Oracle 15 split: a flow whose channel negotiated kFeatE2eCrc must
+  /// survive corruption losslessly — its delivery checks stay fatal. Flows
+  /// without the feature keep the legacy expected-fail carve-out under
+  /// corruption_shape: their anomalies are tolerated and counted.
+  bool tolerate_anomaly(const core::Channel& ch) {
+    if (s_.params.corruption_shape == 0 ||
+        (ch.proto_features() & core::kFeatE2eCrc) != 0) {
+      return false;
+    }
+    ++rep_.unprotected_anomalies;
+    return true;
+  }
+
   const Schedule& s_;
   const RunOptions& opt_;
   std::unique_ptr<testbed::Cluster> cluster_;
@@ -98,6 +111,9 @@ class Runner {
     std::uint64_t ctrl = 0, data = 0;
   };
   std::vector<CacheBaseline> baseline_;
+  // Per-node: can this node's channels negotiate kFeatE2eCrc at all?
+  // (e2e_crc drawn on AND speaking wire v2 with the feature advertised.)
+  std::vector<bool> node_crc_capable_;
   RunReport rep_;
   std::uint64_t probe_tick_ = 0;
   std::uint64_t host_faults_ = 0;  // host_down/up injections (no Filter rule)
@@ -131,6 +147,10 @@ core::Config Runner::make_config() const {
   // breaker and flap hold-down are always armed (they are no-ops until a
   // peer is actually declared dead, which needs a host_down fault).
   cfg.health_adaptive = s_.params.health_adaptive;
+  // Baseline models the legacy fleet: no end-to-end CRC, so with_corruption
+  // schedules (and planted-corruption tests) keep their expected-fail
+  // semantics. corruption_shape re-enables it per node below.
+  cfg.e2e_crc = false;
   if (s_.params.drain_cycles > 0) {
     // Scale the drain clocks to the horizon: force-close stragglers after
     // 4 ms so a cycle actually reaches `drained`, and announce a
@@ -184,6 +204,21 @@ RunReport Runner::run() {
       cfg.inline_max = kInline[(h >> 8) % 3];
       cfg.tx_batch_flush_on_poll_end = ((h >> 16) & 1) != 0;
     }
+    if (s_.params.corruption_shape > 0) {
+      // Corruption shape: ~3/4 of nodes arm the integrity plane, the rest
+      // model the not-yet-upgraded fleet, so CRC-protected, CRC-free and
+      // (with mixed_versions) v1 channels coexist and negotiate against
+      // each other in one run. Pure function of (seed, shape, node):
+      // replay files pin the draw.
+      std::uint64_t h = s_.seed ^ (0xc4c32cULL + s_.params.corruption_shape);
+      h ^= (static_cast<std::uint64_t>(n) + 1) * 0x9e3779b97f4a7c15ULL;
+      h ^= h >> 29;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 32;
+      cfg.e2e_crc = (h % 4) != 0;
+    }
+    node_crc_capable_.push_back(cfg.e2e_crc && cfg.proto_version_max >= 2 &&
+                                (cfg.proto_features & core::kFeatE2eCrc) != 0);
     ctxs_.push_back(std::make_unique<core::Context>(cluster_->rnic(n),
                                                     cluster_->cm(), cfg));
     core::Context& ctx = *ctxs_.back();
@@ -209,6 +244,18 @@ RunReport Runner::run() {
     nptrs.push_back(&cluster_->rnic(n));
   }
   live_.attach(std::move(cptrs), std::move(nptrs), &log_);
+  if (s_.params.corruption_shape > 0) {
+    // Oracle 15 carve-out for oracle 6: a corrupt fault on a channel with
+    // no end-to-end CRC at either endpoint can rewrite the trace-id bytes
+    // in flight, so the deliver would match no post. Tolerate (and count)
+    // exactly those paths; CRC-protected paths stay under the strict check.
+    spans_.set_tolerate([this](const core::SpanDeliverEvent& ev) {
+      const auto capable = [this](net::NodeId n) {
+        return n < node_crc_capable_.size() && node_crc_capable_[n];
+      };
+      return !capable(ev.node) || !capable(ev.peer);
+    });
+  }
   // Oracle 11 is only meaningful when nothing in the schedule can silence a
   // peer at the transport level: a downed host's own context legitimately
   // declares its whole world dead, and a drop storm that exhausts the NIC's
@@ -335,9 +382,14 @@ void Runner::execute(const Op& op) {
       }
       const std::uint64_t tag = op.tag;
       const std::uint32_t size = op.size;
+      // Capture protection at issue time: the response rides the same
+      // negotiated channel, so an unprotected flow's corrupted echo is the
+      // tolerated legacy class, a protected one stays fatal (oracle 15).
+      const bool prot =
+          (st.ch->proto_features() & core::kFeatE2eCrc) != 0;
       const Errc rc = st.ch->call(
           std::move(b),
-          [this, tag, size](Result<core::Msg> r) {
+          [this, tag, size, prot](Result<core::Msg> r) {
             if (!r.ok()) {
               ++rep_.rpcs_failed;  // timeout / close abort: legal outcome
               return;
@@ -345,6 +397,10 @@ void Runner::execute(const Op& op) {
             ++rep_.rpcs_completed;
             const core::Msg& m = r.value();
             if (m.payload.size() != size || !check_pattern(m.payload, tag)) {
+              if (s_.params.corruption_shape > 0 && !prot) {
+                ++rep_.unprotected_anomalies;
+                return;
+              }
               log_.add(now(),
                        strfmt("rpc response content mismatch: tag %llx "
                               "expected %u bytes, got %zu (pattern %s)",
@@ -450,7 +506,7 @@ void Runner::on_delivery(core::Channel& ch, core::Msg&& m) {
   // Oracle 1a: in-order, exactly-once. The acceptor-side data stream is
   // every windowed message the connector sent; seqs must be contiguous
   // from 0 regardless of drops, retransmits and QP replacement.
-  if (m.seq != fl.next_seq) {
+  if (m.seq != fl.next_seq && !tolerate_anomaly(ch)) {
     log_.add(now(), strfmt("delivery order: flow %u->%u slot %u gen %u "
                            "expected seq %llu, got %llu",
                            fl.key.src, fl.key.dst, fl.key.slot, fl.generation,
@@ -459,10 +515,13 @@ void Runner::on_delivery(core::Channel& ch, core::Msg&& m) {
   }
   fl.next_seq = m.seq + 1;
   if (fl.delivered >= fl.sent.size()) {
-    log_.add(now(), strfmt("delivered more than sent on flow %u->%u slot %u "
-                           "gen %u (%llu sent)",
-                           fl.key.src, fl.key.dst, fl.key.slot, fl.generation,
-                           static_cast<unsigned long long>(fl.sent.size())));
+    if (!tolerate_anomaly(ch)) {
+      log_.add(now(),
+               strfmt("delivered more than sent on flow %u->%u slot %u "
+                      "gen %u (%llu sent)",
+                      fl.key.src, fl.key.dst, fl.key.slot, fl.generation,
+                      static_cast<unsigned long long>(fl.sent.size())));
+    }
     ++fl.delivered;
     return;
   }
@@ -470,12 +529,14 @@ void Runner::on_delivery(core::Channel& ch, core::Msg&& m) {
   // delivery must be the k-th successful send, byte for byte.
   const SentItem& exp = fl.sent[fl.delivered];
   if (m.payload.size() != exp.size) {
-    log_.add(now(), strfmt("payload size mismatch on flow %u->%u slot %u: "
-                           "delivery %llu expected %u bytes, got %zu",
-                           fl.key.src, fl.key.dst, fl.key.slot,
-                           static_cast<unsigned long long>(fl.delivered),
-                           exp.size, m.payload.size()));
-  } else if (!check_pattern(m.payload, exp.tag)) {
+    if (!tolerate_anomaly(ch)) {
+      log_.add(now(), strfmt("payload size mismatch on flow %u->%u slot %u: "
+                             "delivery %llu expected %u bytes, got %zu",
+                             fl.key.src, fl.key.dst, fl.key.slot,
+                             static_cast<unsigned long long>(fl.delivered),
+                             exp.size, m.payload.size()));
+    }
+  } else if (!check_pattern(m.payload, exp.tag) && !tolerate_anomaly(ch)) {
     log_.add(now(), strfmt("payload content mismatch on flow %u->%u slot %u "
                            "delivery %llu (tag %llx, %u bytes)",
                            fl.key.src, fl.key.dst, fl.key.slot,
@@ -483,7 +544,7 @@ void Runner::on_delivery(core::Channel& ch, core::Msg&& m) {
                            static_cast<unsigned long long>(exp.tag),
                            exp.size));
   }
-  if (exp.rpc != m.is_rpc_req) {
+  if (exp.rpc != m.is_rpc_req && !tolerate_anomaly(ch)) {
     log_.add(now(), strfmt("message kind mismatch on flow %u->%u slot %u "
                            "delivery %llu: sent %s, delivered %s",
                            fl.key.src, fl.key.dst, fl.key.slot,
@@ -615,6 +676,10 @@ void Runner::check_completeness() {
     if (!ch || !ch->usable() || fl.closed_by_op) continue;
     if (fl.delivered != fl.sent.size() || ch->inflight_msgs() != 0 ||
         ch->queued_msgs() != 0) {
+      // An unprotected flow can lose a message for good when a corrupted
+      // seq lands on the expected window slot and steals its ack — the
+      // legacy carve-out covers completeness too.
+      if (tolerate_anomaly(*ch)) continue;
       log_.add(now(), strfmt("incomplete delivery on live flow %u->%u slot "
                              "%u gen %u: sent %llu delivered %llu "
                              "(inflight %llu queued %llu)",
@@ -704,6 +769,7 @@ void Runner::finish_report() {
   rep_.violation_samples = log_.entries();
   rep_.span_posts = spans_.posts();
   rep_.span_delivers = spans_.delivers();
+  rep_.unprotected_anomalies += spans_.tolerated_delivers();
   rep_.oracle_observations = live_.observations();
   rep_.events = cluster_->engine().events_processed();
   rep_.end_time = now();
@@ -718,6 +784,7 @@ void Runner::finish_report() {
     rep_.dead_declarations += hs.dead_declarations;
     rep_.breaker_opens += hs.breaker_opens;
     rep_.health_flaps += hs.flaps;
+    rep_.crc_storms += hs.crc_storms;
     rep_.drain_suppressions += hs.drain_suppressions;
     rep_.drains_started += c->stats().drains_started;
     rep_.drains_completed += c->stats().drains_completed;
@@ -731,6 +798,11 @@ void Runner::finish_report() {
       rep_.inline_sends += ch->stats().inline_sends;
       rep_.doorbells += ch->stats().doorbells;
       rep_.doorbell_wrs += ch->stats().doorbell_wrs;
+      rep_.crc_stamped += ch->stats().crc_stamped_tx;
+      rep_.crc_failures += ch->stats().crc_failures_rx;
+      rep_.integrity_naks += ch->stats().integrity_naks_tx;
+      rep_.integrity_retransmits += ch->stats().integrity_retransmits;
+      rep_.integrity_exhausted += ch->stats().integrity_exhausted;
     }
   }
 
@@ -755,6 +827,10 @@ void Runner::finish_report() {
   fold64(d, rep_.rpcs_completed);
   fold64(d, rep_.rpcs_failed);
   fold64(d, rep_.faults_injected);
+  fold64(d, rep_.crc_failures);
+  fold64(d, rep_.integrity_naks);
+  fold64(d, rep_.integrity_retransmits);
+  fold64(d, rep_.unprotected_anomalies);
   fold64(d, rep_.events);
   fold64(d, static_cast<std::uint64_t>(rep_.end_time));
   spans_.fold(d);

@@ -26,6 +26,13 @@
 //  14. doorbell-batch conservation: every WR that entered a channel's batch
 //      accumulator is posted, deferred to flow control, or dropped with its
 //      channel — never lost in the accumulator, never double-posted
+//  15. end-to-end integrity: a flow whose channel negotiated kFeatE2eCrc
+//      never surfaces a corrupted, reordered, duplicated or mis-sized
+//      delivery, no matter how many frames the schedule corrupts — the
+//      CRC32C TLV + integrity-NAK retransmit path must absorb them all.
+//      Flows without the feature (v1 peers, e2e_crc off) keep the legacy
+//      carve-out under corruption_shape: their anomalies are tolerated and
+//      counted, not fatal.
 //
 // Lifecycle shapes (drain_cycles / mixed_versions) are driven by the
 // harness itself — a drain is an administrative act, not a fault, so it
@@ -106,6 +113,19 @@ struct RunReport {
   std::uint64_t inline_sends = 0;
   std::uint64_t doorbells = 0;
   std::uint64_t doorbell_wrs = 0;
+  // Integrity-plane exercise counters (summed across all channels at
+  // quiesce): a corruption_shape sweep asserts CRC failures were actually
+  // caught and healed via integrity NAKs, not that no frame was corrupted.
+  std::uint64_t crc_stamped = 0;
+  std::uint64_t crc_failures = 0;
+  std::uint64_t integrity_naks = 0;
+  std::uint64_t integrity_retransmits = 0;
+  std::uint64_t integrity_exhausted = 0;
+  std::uint64_t crc_storms = 0;
+  // Delivery anomalies observed on flows WITHOUT negotiated CRC protection
+  // under corruption_shape — the legacy expected-fail class, tolerated and
+  // counted instead of failing the run.
+  std::uint64_t unprotected_anomalies = 0;
   std::uint64_t span_posts = 0;
   std::uint64_t span_delivers = 0;
   std::uint64_t oracle_observations = 0;

@@ -21,8 +21,15 @@ void SpanLedger::on_span_post(const core::SpanPostEvent& ev) {
 }
 
 void SpanLedger::on_span_deliver(const core::SpanDeliverEvent& ev) {
-  ++delivers_by_id_[ev.trace_id];
   ++total_delivers_;
+  if (tolerate_ && tolerate_(ev)) {
+    // The id itself is untrustworthy on this path (no end-to-end CRC under
+    // a corruption schedule): exclude it from the post/deliver matching
+    // rather than flag a ghost orphan.
+    ++tolerated_delivers_;
+    return;
+  }
+  ++delivers_by_id_[ev.trace_id];
 }
 
 void SpanLedger::check(ViolationLog& log, Nanos now) const {

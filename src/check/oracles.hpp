@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -69,8 +70,17 @@ class ViolationLog {
 /// matching sender-side post — the paper's end-to-end tracing contract.
 class SpanLedger : public core::SpanSink {
  public:
+  /// Carve-out hook for corruption schedules: a deliver for which this
+  /// predicate returns true is excluded from the completeness check (its
+  /// trace id rode a path with no end-to-end CRC, so a corrupt fault may
+  /// have rewritten the id in flight) and counted instead.
+  using TolerateFn = std::function<bool(const core::SpanDeliverEvent&)>;
+
   void on_span_post(const core::SpanPostEvent& ev) override;
   void on_span_deliver(const core::SpanDeliverEvent& ev) override;
+
+  void set_tolerate(TolerateFn fn) { tolerate_ = std::move(fn); }
+  std::uint64_t tolerated_delivers() const { return tolerated_delivers_; }
 
   void check(ViolationLog& log, Nanos now) const;
 
@@ -85,6 +95,8 @@ class SpanLedger : public core::SpanSink {
   std::map<std::uint64_t, std::uint32_t> delivers_by_id_;
   std::uint64_t total_posts_ = 0;
   std::uint64_t total_delivers_ = 0;
+  TolerateFn tolerate_;
+  std::uint64_t tolerated_delivers_ = 0;
 };
 
 /// Oracles 2, 4 and 5, evaluated between simulation events: seq-ack window

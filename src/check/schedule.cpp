@@ -123,8 +123,13 @@ Schedule generate_schedule(std::uint64_t seed, ScheduleParams params) {
     f.node = static_cast<std::uint8_t>(rng.next_below(params.num_hosts));
     std::uint64_t r = rng.next_below(100);
     using analysis::FaultKind;
-    if (params.with_corruption && r < 12) {
-      f.kind = r < 8 ? FaultKind::ingress_corrupt : FaultKind::egress_corrupt;
+    // corruption_shape boosts the corrupt share (the run exists to exercise
+    // the integrity plane); with_corruption keeps the legacy 12% mix.
+    const std::uint64_t corrupt_share =
+        params.corruption_shape > 0 ? 30 : (params.with_corruption ? 12 : 0);
+    if (r < corrupt_share) {
+      f.kind = 3 * r < 2 * corrupt_share ? FaultKind::ingress_corrupt
+                                         : FaultKind::egress_corrupt;
     } else if (r < 24) {
       f.kind = FaultKind::ingress_drop;
     } else if (r < 42) {
@@ -220,7 +225,7 @@ std::string serialize_schedule(const Schedule& s) {
       << " brownout " << p.brownout_delay_us << " adaptive "
       << (p.health_adaptive ? 1 : 0) << " drain " << p.drain_cycles
       << " mixedver " << (p.mixed_versions ? 1 : 0) << " batching "
-      << p.batch_shape << "\n";
+      << p.batch_shape << " crcshape " << p.corruption_shape << "\n";
   for (const Op& op : s.ops) {
     out << "op " << op.at << " " << to_string(op.kind) << " "
         << unsigned{op.src} << " " << unsigned{op.dst} << " "
@@ -273,6 +278,7 @@ bool deserialize_schedule(const std::string& text, Schedule& out) {
         else if (key == "drain") p.drain_cycles = static_cast<std::uint32_t>(value);
         else if (key == "mixedver") p.mixed_versions = value != 0;
         else if (key == "batching") p.batch_shape = static_cast<std::uint32_t>(value);
+        else if (key == "crcshape") p.corruption_shape = static_cast<std::uint32_t>(value);
         else return false;
       }
     } else if (word == "op") {

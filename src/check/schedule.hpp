@@ -57,9 +57,12 @@ struct ScheduleParams {
   std::uint32_t num_faults = 14;
   std::uint32_t slots_per_pair = 2;
   Nanos horizon = millis(30);  // workload window; quiesce runs after it
-  // Corruption faults make runs *expected to fail*: the oracle suite
-  // assumes the transport does not corrupt (RC hardware CRC), so corrupt
-  // injections exist to validate detection + shrinking, not for smoke runs.
+  // Legacy corruption switch: with the harness's baseline config (e2e_crc
+  // off, modeling v1/feature-off peers) corruption faults make runs
+  // *expected to fail* — the oracle suite assumes the transport does not
+  // corrupt (RC hardware CRC), so these injections validate detection +
+  // shrinking. For corruption as a *survivable* fault class, use
+  // corruption_shape below, which arms the integrity plane.
   bool with_corruption = false;
   // Config knobs the run is built with (the interesting protocol edges).
   std::uint32_t window_depth = 8;
@@ -109,6 +112,16 @@ struct ScheduleParams {
   // must still balance. The value seeds the per-node knob draw so replay
   // files pin it. 0 = off (legacy replay files decode to 0).
   std::uint32_t batch_shape = 0;
+  // Corruption shape (PR 10). Nonzero boosts the ingress/egress-corrupt
+  // share of the fault draw AND randomizes per-node `e2e_crc` (~3/4 of
+  // nodes on, seeded by the value, composing with mixed_versions), so CRC
+  // and CRC-free channels coexist in one run. Flows whose channel
+  // negotiated kFeatE2eCrc must survive corruption losslessly (oracle 15:
+  // no corrupted delivery, exactly-once preserved); flows without the
+  // feature keep the legacy expected-fail carve-out — the harness tolerates
+  // (and counts) their delivery anomalies instead of failing the run.
+  // 0 = off (legacy replay files decode to 0).
+  std::uint32_t corruption_shape = 0;
 };
 
 struct Schedule {

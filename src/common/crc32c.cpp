@@ -1,0 +1,41 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace xrdma {
+
+namespace {
+
+// 256-entry table for the reflected Castagnoli polynomial, generated once
+// at static-init time (constexpr, so actually at compile time).
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                            std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len) {
+  return crc32c_extend(0, data, len);
+}
+
+}  // namespace xrdma

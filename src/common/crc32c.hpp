@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum the
+// integrity plane stamps into the wire-v2 CRC TLV (see msg.hpp).
+//
+// Table-driven, byte-at-a-time. Real deployments would use SSE4.2 `crc32`
+// or ARMv8 CRC instructions (~16 GB/s); the simulation models that cost in
+// the send path (Config::send_path_overhead plus a per-covered-byte term)
+// and only needs the software reference here, so portability beats speed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xrdma {
+
+/// One-shot CRC32C over `len` bytes. Standard init/xorout (~0).
+std::uint32_t crc32c(const void* data, std::size_t len);
+
+/// Incremental form: feed `crc` from a previous call (or 0 to start) to
+/// extend the checksum over a discontiguous region, e.g. header bytes with
+/// the CRC field zeroed followed by the payload.
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                            std::size_t len);
+
+}  // namespace xrdma

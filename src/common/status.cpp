@@ -30,6 +30,7 @@ std::string_view errc_name(Errc e) {
     case Errc::bad_message: return "bad_message";
     case Errc::would_block: return "would_block";
     case Errc::overloaded: return "overloaded";
+    case Errc::integrity_error: return "integrity_error";
   }
   return "unknown";
 }

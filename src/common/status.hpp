@@ -44,6 +44,7 @@ enum class Errc {
   bad_message,             // framing / header validation failed
   would_block,             // bounded tx queue is full; wait for on_writable
   overloaded,              // server shed the request; back off and retry
+  integrity_error,         // e2e CRC retries exhausted; data-plane corruption
 };
 
 std::string_view errc_name(Errc e);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/backoff.hpp"
+#include "common/crc32c.hpp"
 #include "common/logging.hpp"
 #include "core/context.hpp"
 namespace xrdma::core {
@@ -312,6 +313,24 @@ bool Channel::emit_data(PendingSend& p) {
   hdr.ack = rwin_.ack_to_send();
   rwin_.note_ack_sent();
 
+  if (crc_on()) {
+    // Whole-message payload CRC (not per-fragment): one value covers the
+    // eager copy, the WQE-inline bytes and a rendezvous pull alike, so the
+    // receiver verifies exactly what the application handed us. Synthetic
+    // payloads have no bytes to cover — the 0 sentinel tells the receiver
+    // to skip payload verification (header integrity still applies).
+    hdr.crc_present = true;
+    if (len > 0) {
+      const std::uint8_t* src = nullptr;
+      if (p.zc_block.valid()) {
+        src = ctx_.data_cache_.data(p.zc_block);
+      } else if (!p.payload.is_synthetic()) {
+        src = p.payload.data();
+      }
+      if (src) hdr.payload_crc = crc32c(src, len);
+    }
+  }
+
   ++stats_.msgs_tx;
   stats_.bytes_tx += len;
   last_tx_ = now;
@@ -345,7 +364,7 @@ bool Channel::emit_data(PendingSend& p) {
     ent->payload_block = p.zc_block;  // freed on ack, like the RDMA path
     if (!p.zc_block.valid()) ent->inline_copy = p.payload;
     Buffer wire = Buffer::make(hdr.wire_size() + len);
-    hdr.encode(wire.data());
+    encode_stamped(hdr, wire.data());
     if (len > 0) {
       std::uint8_t* dst = wire.data() + hdr.wire_size();
       if (p.zc_block.valid()) {
@@ -371,7 +390,7 @@ bool Channel::emit_data(PendingSend& p) {
       return true;
     }
     std::uint8_t* dst = ctx_.ctrl_cache_.data(wire_block);
-    hdr.encode(dst);
+    encode_stamped(hdr, dst);
     if (len > 0 && p.payload.data()) {
       std::memcpy(dst + hdr.wire_size(), p.payload.data(), len);
     }
@@ -391,7 +410,7 @@ bool Channel::emit_data(PendingSend& p) {
       std::memcpy(dst, p.payload.data(), len);
     }
   }
-  hdr.encode(ctx_.ctrl_cache_.data(wire_block));
+  encode_stamped(hdr, ctx_.ctrl_cache_.data(wire_block));
   ent->hdr = hdr;
   ent->wire_block = wire_block;
   ent->payload_block = payload_block;
@@ -406,6 +425,7 @@ void Channel::post_wire(const WireHeader& hdr, MemBlock block,
   // Egress fault injection (Filter, §VI-C). A dropped message stays in the
   // send window — only a recovery replay can deliver it.
   Nanos extra = 0;
+  MemBlock transient;  // corrupted egress copy; freed when its WC lands
   if (ctx_.egress_filter_) {
     const auto d = ctx_.egress_filter_(*this, hdr);
     if (d.action == Context::FilterAction::drop) {
@@ -414,20 +434,40 @@ void Channel::post_wire(const WireHeader& hdr, MemBlock block,
     }
     if (d.action == Context::FilterAction::delay) extra = d.delay;
     if (d.action == Context::FilterAction::corrupt) {
-      if (std::uint8_t* p = ctx_.ctrl_cache_.data(block); p && len > 0) {
-        p[d.corrupt_seed % len] ^= 0x40;
+      // Corrupt a transient copy, never `block` itself: the send window
+      // retains that block as the retransmit template, so an in-place flip
+      // would make every recovery replay re-send the corrupted bytes.
+      if (const std::uint8_t* src = ctx_.ctrl_cache_.data(block);
+          src && len > 0) {
+        transient = ctx_.ctrl_cache_.alloc(len);
+        if (transient.valid()) {
+          std::uint8_t* p = ctx_.ctrl_cache_.data(transient);
+          std::memcpy(p, src, len);
+          p[d.corrupt_seed % len] ^= 0x40;
+          block = transient;
+        }
+        // Allocation failure posts the clean block: the injected fault
+        // degrades to a no-op, deterministically, instead of mutating
+        // retained state.
       }
     }
   }
   verbs::SendWr wr;
   wr.wr_id = ctx_.register_wr(
-      {Context::WrInfo::Kind::data_send, id_, 0, 0, MemBlock{}, false});
+      {Context::WrInfo::Kind::data_send, id_, 0, 0, transient, false});
   wr.opcode = verbs::Opcode::send_imm;  // imm carries the ACK low bits (§V-B)
   wr.imm = static_cast<std::uint32_t>(rwin_.last_ack_sent());
   wr.local = {block.addr, len, block.lkey};
-  // Software send-path cost (plus the tracing tax in req-rsp mode).
+  // Software send-path cost (plus the tracing tax in req-rsp mode, plus the
+  // CRC pass over the covered bytes — header and, when real, payload —
+  // modeling a hardware-assisted CRC32C at ~16 bytes/ns).
   Nanos cost = cfg.send_path_overhead;
   if (cfg.reqrsp_mode) cost += cfg.trace_overhead;
+  if (hdr.crc_present) {
+    cost += static_cast<Nanos>(
+        (hdr.wire_size() + (hdr.payload_crc != 0 ? hdr.payload_len : 0)) / 16);
+    cost = crc_serialize(cost);
+  }
   const std::uint64_t chan_id = id_;
   ctx_.engine().schedule_after(cost + extra, [ctx = &ctx_, chan_id, wr] {
     if (Channel* ch = ctx->channel_by_id(chan_id);
@@ -444,7 +484,10 @@ void Channel::post_wire_inline(const WireHeader& hdr, const Buffer& payload) {
   const std::uint32_t len = hdr.payload_len;
   const std::uint32_t wire_len = hdr.wire_size() + len;
   Buffer wire = Buffer::make(wire_len);
-  hdr.encode(wire.data());
+  // Stamp before the egress filter below: injected corruption lands on
+  // already-stamped bytes, exactly like a flip after a real NIC computed
+  // its CRC — which is what makes it detectable at the receiver.
+  encode_stamped(hdr, wire.data());
   if (len > 0 && payload.data() && !payload.is_synthetic()) {
     std::memcpy(wire.data() + hdr.wire_size(), payload.data(), len);
   }
@@ -472,6 +515,11 @@ void Channel::post_wire_inline(const WireHeader& hdr, const Buffer& payload) {
   wr.inline_payload = wire;
   Nanos cost = cfg.send_path_overhead;
   if (cfg.reqrsp_mode) cost += cfg.trace_overhead;
+  if (hdr.crc_present) {
+    cost += static_cast<Nanos>(
+        (hdr.wire_size() + (hdr.payload_crc != 0 ? len : 0)) / 16);
+    cost = crc_serialize(cost);
+  }
   const std::uint64_t chan_id = id_;
   ctx_.engine().schedule_after(cost + extra, [ctx = &ctx_, chan_id, wr] {
     if (Channel* ch = ctx->channel_by_id(chan_id);
@@ -496,10 +544,13 @@ void Channel::post_control(std::uint16_t flags, std::uint64_t aux_id,
   hdr.rv_addr = aux;
   if ((flags & (kFlagNak | kFlagDrain)) != 0 && proto_version_ >= 2) {
     // Wire v2 also carries the hint as a header TLV — the extensible-field
-    // path new builds grow through; rv_addr keeps it for v1 interop.
+    // path new builds grow through; rv_addr keeps it for v1 interop. On a
+    // CRC channel the TLV area belongs to the CRC (encode() prefers it);
+    // the hint still rides rv_addr, which every version reads first.
     hdr.retry_after_us = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(aux / kNanosPerMicro, 0xffffffffull));
   }
+  hdr.crc_present = crc_on();
   hdr.ack = rwin_.ack_to_send();
   rwin_.note_ack_sent();
 
@@ -526,7 +577,7 @@ void Channel::post_control(std::uint16_t flags, std::uint64_t aux_id,
 
   if (tx_override_) {
     Buffer wire = Buffer::make(hdr.wire_size());
-    hdr.encode(wire.data());
+    encode_stamped(hdr, wire.data());
     tx_override_(std::move(wire));
     on_send_wc_control(flags);  // no WC will come back
     return;
@@ -545,7 +596,7 @@ void Channel::post_control(std::uint16_t flags, std::uint64_t aux_id,
     if (flags & kFlagFin) fail(Errc::resource_exhausted);
     return;
   }
-  hdr.encode(ctx_.ctrl_cache_.data(block));
+  encode_stamped(hdr, ctx_.ctrl_cache_.data(block));
 
   verbs::SendWr wr;
   wr.wr_id = ctx_.register_wr(
@@ -573,6 +624,110 @@ void Channel::send_drain(Nanos retry_after) {
   if ((proto_features_ & kFeatDrain) == 0) return;
   ++stats_.drains_tx;
   post_control(kFlagDrain, 0, static_cast<std::uint64_t>(retry_after));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end integrity plane (kFeatE2eCrc).
+
+Nanos Channel::crc_serialize(Nanos cost) {
+  // The CRC pass runs on the single serialized send path: a large payload's
+  // checksum delays every LATER post behind it, it never lets one overtake.
+  // Without this clamp a rendezvous descriptor's surcharge would reorder it
+  // behind tens of cheaper eager frames and blow out the receive window.
+  const Nanos now = ctx_.engine().now();
+  Nanos ready = now + cost;
+  if (ready < crc_tx_ready_) ready = crc_tx_ready_;
+  crc_tx_ready_ = ready;
+  return ready - now;
+}
+
+void Channel::encode_stamped(const WireHeader& hdr, std::uint8_t* dst) {
+  hdr.encode(dst);
+  if (hdr.crc_present) {
+    hdr.stamp_crc(dst);
+    ++stats_.crc_stamped_tx;
+  }
+}
+
+bool Channel::verify_rx_integrity(const WireHeader& hdr,
+                                  const std::uint8_t* bytes,
+                                  std::uint32_t len) {
+  if (!crc_on()) return true;  // feature off: TLVs (if any) are ignored
+  bool ok;
+  if (!hdr.crc_present) {
+    // A negotiated channel stamps every frame, so a frame arriving without
+    // the TLV had its TLV area corrupted (count/type/len byte): treating it
+    // as intact would be a verification bypass. Control frames are the
+    // exception that proves the rule — they fail here too and are dropped,
+    // which the ack/NOP/timer machinery already recovers from.
+    ok = false;
+  } else {
+    ok = WireHeader::verify_hdr_crc(bytes, len, hdr);
+    if (ok && hdr.is_data() && !hdr.has(kFlagLarge) && hdr.payload_len > 0 &&
+        hdr.payload_crc != 0) {
+      // Eager payload rides in this frame: verify it now. Rendezvous
+      // payloads are verified after the pull (on_read_frag_done).
+      ok = hdr.wire_size() + hdr.payload_len <= len &&
+           crc32c(bytes + hdr.wire_size(), hdr.payload_len) ==
+               hdr.payload_crc;
+    }
+  }
+  if (ok) return true;
+  ++stats_.crc_failures_rx;
+  ctx_.health().note_crc_failure(peer_);
+  record(analysis::RecEvent::crc_fail_rx, hdr.flags, hdr.seq,
+         hdr.payload_len);
+  // NAK only what claims to be data: a corrupted control frame has no
+  // window entry to replay, and its loss is equivalent to a drop fault.
+  // (The flags byte itself may be corrupted — this is best-effort; a data
+  // frame masquerading as control is recovered like a drop.)
+  //
+  // The NAK carries OUR next-expected seq, not hdr.seq: the header just
+  // failed verification, so its seq field is exactly the kind of byte the
+  // corruption may have hit. Everything below rx_wta was delivered in
+  // order; the damaged frame is at or above it, so go-back-N from rx_wta
+  // always covers it. (The rendezvous pull path NAKs the frame's own seq —
+  // there the header DID verify, only the pulled payload didn't.)
+  if (hdr.is_data()) send_integrity_nak(rwin_.wta());
+  return false;
+}
+
+void Channel::send_integrity_nak(Seq seq) {
+  ++stats_.integrity_naks_tx;
+  record(analysis::RecEvent::integrity_nak_tx, 0, seq);
+  post_control(kFlagIntegrityNak, seq, 0);
+}
+
+void Channel::on_integrity_nak(Seq seq) {
+  ++stats_.integrity_naks_rx;
+  record(analysis::RecEvent::integrity_nak_rx, 0, seq);
+  TxEntry* ent = swin_.find(seq);
+  if (!ent) return;  // already acked, or the NAK'd seq itself is garbage
+  const std::uint32_t budget = ctx_.config().integrity_retry_max;
+  ++ent->integrity_retries;
+  if (budget > 0 && ent->integrity_retries > budget) {
+    // Retries exhausted: something is persistently corrupting this message
+    // (a torn source buffer, a broken staging path). Surface the true
+    // cause — never folded into peer_dead; the peer is answering, its
+    // answers just don't verify.
+    ++stats_.integrity_exhausted;
+    record(analysis::RecEvent::integrity_exhausted,
+           static_cast<std::uint16_t>(budget), seq);
+    ent->integrity_retries = 0;
+    handle_transport_fault(Errc::integrity_error);
+    return;
+  }
+  // Go-back-N from the NAK'd seq: the receive window only accepts rx_wta,
+  // so every frame we sent after the dropped one was discarded
+  // ahead-of-window and must be replayed too. Entries below the NAK'd seq
+  // were received in order; the receiver's dedup absorbs any overlap.
+  swin_.for_each_inflight([this, seq](Seq s, TxEntry& e) {
+    if (s < seq || state_ != State::established) return;
+    ++stats_.integrity_retransmits;
+    record(analysis::RecEvent::integrity_retransmit,
+           static_cast<std::uint16_t>(e.integrity_retries), s);
+    retransmit_entry(s, e);
+  });
 }
 
 bool Channel::quiescent() {
@@ -611,6 +766,7 @@ void Channel::reclaim_windows() {
     if (r.payload_block.valid()) ctx_.data_cache_.free(r.payload_block);
     r.payload_block = MemBlock{};
     r.pull_deferred = false;
+    r.pull_failed = false;
   });
   ctx_.purge_channel_wrs(id_);
 }
@@ -694,6 +850,11 @@ void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
     }
   }
 
+  // End-to-end integrity (kFeatE2eCrc): verify before ANY protocol state
+  // advances — a corrupted cumulative ack or control flag must never be
+  // processed, and a corrupted frame is not proof of life.
+  if (!verify_rx_integrity(hdr, bytes, len)) return;
+
   last_rx_ = ctx_.engine().now();
   ctx_.health().note_proof_of_life(peer_);
 
@@ -707,6 +868,12 @@ void Channel::process_wire(const std::uint8_t* bytes, std::uint32_t len) {
   }
   if (hdr.has(kFlagNop)) {
     ++stats_.nops_rx;
+    return;
+  }
+  if (hdr.has(kFlagIntegrityNak)) {
+    // The receiver dropped our frame on a CRC mismatch; rpc_id carries the
+    // seq. Replay from the send window (go-back-N) or escalate.
+    on_integrity_nak(hdr.rpc_id);
     return;
   }
   if (hdr.has(kFlagNak)) {
@@ -759,11 +926,26 @@ void Channel::handle_data(const WireHeader& hdr, const std::uint8_t* bytes,
       // fresh ack either way so it can retire the entry.
       ++stats_.dup_msgs_rx;
       if (RxState* pending = rwin_.find(hdr.seq);
-          pending && (pending->reads_left > 0 || pending->pull_deferred) &&
+          pending && pending->pull_failed && hdr.has(kFlagLarge) &&
+          hdr.payload_len == pending->hdr.payload_len) {
+        // Descriptor retransmit for a pull whose bytes failed CRC: refresh
+        // the descriptor (the sender's payload block is only freed on ack,
+        // so the address is still live) and retry the pull.
+        pending->hdr = hdr;
+        pending->pull_failed = false;
+        start_rendezvous_pull(hdr.seq, *pending);
+        force_ack();
+        return;
+      }
+      if (RxState* pending = rwin_.find(hdr.seq);
+          pending &&
+          (pending->reads_left > 0 || pending->pull_deferred ||
+           pending->pull_failed) &&
           !hdr.has(kFlagLarge) &&
           hdr.payload_len == pending->hdr.payload_len) {
         pending->reads_left = 0;
         pending->pull_deferred = false;
+        pending->pull_failed = false;
         if (pending->payload_block.valid()) {
           ctx_.data_cache_.free(pending->payload_block);
           pending->payload_block = MemBlock{};
@@ -915,6 +1097,21 @@ void Channel::on_read_frag_done(Seq seq, Errc status) {
 
   const std::uint32_t len = rx->hdr.payload_len;
   if (std::uint8_t* src = ctx_.data_cache_.data(rx->payload_block)) {
+    // Post-pull verification (kFeatE2eCrc): the descriptor carried the
+    // whole-message payload CRC, so a stale or torn RDMA Read — the source
+    // mutated between descriptor and pull — is caught here, before the
+    // bytes can reach the application.
+    if (crc_on() && rx->hdr.crc_present && rx->hdr.payload_crc != 0 &&
+        crc32c(src, len) != rx->hdr.payload_crc) {
+      ++stats_.crc_failures_rx;
+      ctx_.health().note_crc_failure(peer_);
+      record(analysis::RecEvent::crc_fail_rx, rx->hdr.flags, seq, len);
+      ctx_.data_cache_.free(rx->payload_block);
+      rx->payload_block = MemBlock{};
+      rx->pull_failed = true;  // slot waits for a descriptor retransmit
+      send_integrity_nak(seq);
+      return;
+    }
     rx->payload = Buffer::make(len);
     std::memcpy(rx->payload.data(), src, len);
   } else {
@@ -1540,7 +1737,7 @@ void Channel::retransmit_entry(Seq seq, TxEntry& e) {
     hdr.rv_addr = 0;
     hdr.rv_rkey = 0;
     Buffer wire = Buffer::make(hdr.wire_size() + len);
-    hdr.encode(wire.data());
+    encode_stamped(hdr, wire.data());
     if (len > 0) {
       std::uint8_t* dst = wire.data() + hdr.wire_size();
       if (e.payload_block.valid()) {
@@ -1561,11 +1758,11 @@ void Channel::retransmit_entry(Seq seq, TxEntry& e) {
   }
 
   if (e.wire_block.valid()) {
-    // Original wire bytes survive in the control cache: refresh the ack in
-    // place and repost (rendezvous descriptors stay valid — the payload
-    // block was never freed, and MRs outlive the QP).
+    // Original wire bytes survive in the control cache: refresh the ack
+    // (and CRC stamp) in place and repost (rendezvous descriptors stay
+    // valid — the payload block was never freed, and MRs outlive the QP).
     if (std::uint8_t* dst = ctx_.ctrl_cache_.data(e.wire_block)) {
-      hdr.encode(dst);
+      encode_stamped(hdr, dst);
     }
     e.hdr = hdr;
     post_wire(hdr, e.wire_block, e.wire_len);
@@ -1608,7 +1805,7 @@ void Channel::retransmit_entry(Seq seq, TxEntry& e) {
       defer_retransmit();
       return;
     }
-    hdr.encode(ctx_.ctrl_cache_.data(block));
+    encode_stamped(hdr, ctx_.ctrl_cache_.data(block));
     e.hdr = hdr;
     e.wire_block = block;
     e.wire_len = hdr.wire_size();
@@ -1621,7 +1818,7 @@ void Channel::retransmit_entry(Seq seq, TxEntry& e) {
     return;
   }
   std::uint8_t* dst = ctx_.ctrl_cache_.data(block);
-  hdr.encode(dst);
+  encode_stamped(hdr, dst);
   if (len > 0 && e.inline_copy.data()) {
     std::memcpy(dst + hdr.wire_size(), e.inline_copy.data(), len);
   }

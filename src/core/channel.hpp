@@ -167,6 +167,7 @@ class Channel {
     Buffer inline_copy;      // payload kept for entries with no wire block
     Nanos t_queued = 0;
     std::uint16_t flags = 0;
+    std::uint16_t integrity_retries = 0;  // integrity-NAK replays so far
   };
 
   struct RxState {
@@ -176,6 +177,8 @@ class Channel {
     std::uint32_t reads_left = 0;
     Nanos t_arrive = 0;
     bool pull_deferred = false;  // rendezvous pull parked (memory pressure)
+    bool pull_failed = false;    // pulled payload failed CRC; awaiting a
+                                 // descriptor retransmit to retry the pull
   };
 
   /// `send_depth` is the negotiated in-flight depth (min of both sides'
@@ -213,6 +216,24 @@ class Channel {
   /// leaving gracefully, with a reconnect hint. No-op unless the peer
   /// negotiated kFeatDrain — an old build would mistake the flag for data.
   void send_drain(Nanos retry_after);
+
+  // End-to-end integrity plane (kFeatE2eCrc; see README).
+  /// Both ends negotiated the CRC TLV on this channel.
+  bool crc_on() const { return (proto_features_ & kFeatE2eCrc) != 0; }
+  Nanos crc_serialize(Nanos cost);
+  /// encode() + CRC stamp: every tx path funnels its header serialization
+  /// through here so a negotiated channel never emits an unstamped frame.
+  void encode_stamped(const WireHeader& hdr, std::uint8_t* dst);
+  /// Receive-side verification, run before ANY protocol state advances.
+  /// Returns false when the frame must be dropped.
+  bool verify_rx_integrity(const WireHeader& hdr, const std::uint8_t* bytes,
+                           std::uint32_t len);
+  /// Windowless NAK carrying the seq whose frame failed verification.
+  void send_integrity_nak(Seq seq);
+  /// Sender side: replay the unacked tail from the NAK'd seq (go-back-N —
+  /// the receive window discarded everything after the dropped frame), or
+  /// escalate Errc::integrity_error once the retry budget is spent.
+  void on_integrity_nak(Seq seq);
 
   // Overload control (backpressure + memory-pressure degradation).
   bool tx_cap_reached(std::uint32_t len) const;
@@ -312,6 +333,7 @@ class Channel {
   Nanos last_alive_ = 0;  // last hardware-level proof the peer RNIC lives
   Nanos last_tx_ = 0;
   Nanos last_rx_ = 0;
+  Nanos crc_tx_ready_ = 0;  // send-path CRC serialization watermark
 
   // Recovery state. The single timer serves three roles, dispatched on
   // state: reconnect backoff (connector), passive resume deadline

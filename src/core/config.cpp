@@ -139,6 +139,19 @@ const std::map<std::string, OnlineParam>& online_params() {
         [](Config& c, std::int64_t v) {
           c.health_retx_degraded = static_cast<std::uint32_t>(v);
         }}},
+      {"health_crc_degraded",
+       {[](const Config& c) { return std::int64_t{c.health_crc_degraded}; },
+        [](Config& c, std::int64_t v) {
+          c.health_crc_degraded = static_cast<std::uint32_t>(v);
+        }}},
+      {"e2e_crc",
+       {[](const Config& c) { return std::int64_t{c.e2e_crc}; },
+        [](Config& c, std::int64_t v) { c.e2e_crc = v != 0; }}},
+      {"integrity_retry_max",
+       {[](const Config& c) { return std::int64_t{c.integrity_retry_max}; },
+        [](Config& c, std::int64_t v) {
+          c.integrity_retry_max = static_cast<std::uint32_t>(v);
+        }}},
       {"lifecycle_drain",
        {[](const Config& c) { return std::int64_t{c.lifecycle_drain}; },
         [](Config& c, std::int64_t v) { c.lifecycle_drain = v != 0; }}},

@@ -72,6 +72,19 @@ struct Config {
   // retransmits per evaluation scan.
   std::uint32_t health_degraded_rtt_x = 4;
   std::uint32_t health_retx_degraded = 32;
+  // Corruption-storm detector: CRC failures per evaluation scan that grade
+  // the peer degraded (0 disables). Fed by the channel's receive-side
+  // integrity verification (e2e_crc).
+  std::uint32_t health_crc_degraded = 8;
+
+  // ---- End-to-end integrity plane (online; see README) ----
+  // Stamp + verify the CRC32C header TLV on channels where both ends
+  // negotiated kFeatE2eCrc. Online: flipping it only affects channels
+  // established afterwards (the feature is fixed per channel at handshake).
+  bool e2e_crc = true;
+  // Integrity-NAK retransmits allowed per message before the channel
+  // escalates with Errc::integrity_error (never folded into peer_dead).
+  std::uint32_t integrity_retry_max = 3;
 
   // ---- Lifecycle plane (graceful drain; see README "Lifecycle") ----
   // lifecycle_drain is the online trigger behind `xr_adm drain`: setting it
@@ -97,7 +110,7 @@ struct Config {
   // emits the legacy 32-byte handshake, faithfully modeling an old binary.
   std::uint16_t proto_version_min = 1;
   std::uint16_t proto_version_max = 2;
-  std::uint32_t proto_features = 3;  // kFeatDrain | kFeatHdrTlv
+  std::uint32_t proto_features = 7;  // kFeatDrain | kFeatHdrTlv | kFeatE2eCrc
 
   // ---- Offline (Table III) ----
   bool use_srq = false;

@@ -51,9 +51,14 @@ Buffer encode_handshake(const Config& cfg, std::uint32_t flags,
   if (versioned) {
     const std::uint32_t vmin = cfg.proto_version_min;
     const std::uint32_t vmax = cfg.proto_version_max;
+    // e2e_crc is the online switch over the advertised capability: a node
+    // with it off simply does not offer the feature, so new channels
+    // negotiate CRC-free (existing channels keep their handshake-time set).
+    std::uint32_t features = cfg.proto_features;
+    if (!cfg.e2e_crc) features &= ~static_cast<std::uint32_t>(kFeatE2eCrc);
     std::memcpy(b.data() + 32, &vmin, 4);
     std::memcpy(b.data() + 36, &vmax, 4);
-    std::memcpy(b.data() + 40, &cfg.proto_features, 4);
+    std::memcpy(b.data() + 40, &features, 4);
   }
   return b;
 }
@@ -96,9 +101,14 @@ Negotiated negotiate(const Config& cfg, const Handshake& hs) {
   if (lo > hi) return n;  // disjoint ranges
   n.ok = true;
   n.version = hi;
-  n.features = cfg.proto_features & hs.features;
-  // Feature-bit downgrade: the TLV area only exists on wire v2 frames.
-  if (n.version < 2) n.features &= ~static_cast<std::uint32_t>(kFeatHdrTlv);
+  std::uint32_t local = cfg.proto_features;
+  if (!cfg.e2e_crc) local &= ~static_cast<std::uint32_t>(kFeatE2eCrc);
+  n.features = local & hs.features;
+  // Feature-bit downgrade: the TLV area only exists on wire v2 frames, and
+  // the CRC TLV lives inside it.
+  if (n.version < 2) {
+    n.features &= ~static_cast<std::uint32_t>(kFeatHdrTlv | kFeatE2eCrc);
+  }
   return n;
 }
 
@@ -773,6 +783,9 @@ void Context::dispatch_send_wc(const verbs::Wc& wc) {
   Channel* ch = channel_by_id(info.channel_id);
   switch (info.kind) {
     case WrInfo::Kind::data_send:
+      // A transient egress-corruption copy rides in info.block (the
+      // retained wire block is owned by the send window, never here).
+      if (info.block.valid()) ctrl_cache_.free(info.block);
       if (wc.status != Errc::ok && ch) ch->handle_transport_fault(wc.status);
       break;
     case WrInfo::Kind::ctrl_send:

@@ -125,6 +125,10 @@ void HealthMonitor::note_retransmit(net::NodeId peer) {
   ++record(peer).retx_in_scan;
 }
 
+void HealthMonitor::note_crc_failure(net::NodeId peer) {
+  ++record(peer).crc_in_scan;
+}
+
 void HealthMonitor::note_fault(net::NodeId peer) {
   const Nanos now = engine_.now();
   PeerRecord& rec = record(peer);
@@ -368,6 +372,7 @@ void HealthMonitor::evaluate(Nanos now) {
         if (rec.dead || rec.breaker_open) ++stats_.drain_violations;
         grade_change(peer, rec, PeerState::draining);
         rec.retx_in_scan = 0;
+        rec.crc_in_scan = 0;
         continue;
       }
     }
@@ -387,7 +392,14 @@ void HealthMonitor::evaluate(Nanos now) {
                               std::max(rec.rtt_long, 1000.0);
       const bool retx_storm = cfg_.health_retx_degraded > 0 &&
                               rec.retx_in_scan >= cfg_.health_retx_degraded;
-      if (rtt_inflated || retx_storm) {
+      const bool crc_storm = cfg_.health_crc_degraded > 0 &&
+                             rec.crc_in_scan >= cfg_.health_crc_degraded;
+      if (crc_storm) {
+        ++stats_.crc_storms;
+        rec_log(analysis::RecEvent::corruption_storm, 0,
+                static_cast<std::uint32_t>(peer), rec.crc_in_scan);
+      }
+      if (rtt_inflated || retx_storm || crc_storm) {
         next = PeerState::degraded;
       } else if (rec.last_proof > 0 &&
                  phi_of(rec, now) >= double(cfg_.health_phi_suspect)) {
@@ -400,6 +412,7 @@ void HealthMonitor::evaluate(Nanos now) {
       grade_change(peer, rec, next);
     }
     rec.retx_in_scan = 0;
+    rec.crc_in_scan = 0;
     // A long quiet spell forgives past flapping.
     if (rec.holddown_level > 0 && rec.last_flap > 0 &&
         now - rec.last_flap > 4 * cfg_.health_flap_window &&

@@ -81,6 +81,9 @@ class HealthMonitor {
   void note_probe_rtt(net::NodeId peer, Nanos rtt);
   /// A window entry had to be re-sent after recovery (degraded detector).
   void note_retransmit(net::NodeId peer);
+  /// A frame from the peer failed e2e CRC verification (corruption-storm
+  /// detector: health_crc_degraded failures in one scan grade it degraded).
+  void note_crc_failure(net::NodeId peer);
   /// A channel starts recovery against the peer; runs flap detection.
   void note_fault(net::NodeId peer);
   /// A keepalive declared the peer silent past the bound; opens the breaker.
@@ -163,6 +166,7 @@ class HealthMonitor {
     double rtt_long = 0.0;   // slow EWMA (alpha 1/64)
     std::uint64_t rtt_samples = 0;
     std::uint64_t retx_in_scan = 0;
+    std::uint64_t crc_in_scan = 0;  // CRC failures this evaluation scan
     // State machine.
     PeerState state = PeerState::healthy;
     bool dead = false;

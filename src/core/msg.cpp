@@ -1,5 +1,7 @@
 #include "core/msg.hpp"
 
+#include "common/crc32c.hpp"
+
 namespace xrdma::core {
 
 namespace {
@@ -32,7 +34,18 @@ void WireHeader::encode(std::uint8_t* dst) const {
   // are zero padding to an old decoder and extension space to a new one.
   const std::uint32_t used = static_cast<std::uint32_t>(p - dst);
   std::memset(p, 0, kBareSize - used);
-  if (version >= 2 && retry_after_us != 0) {
+  if (version >= 2 && crc_present) {
+    // The CRC TLV fills the pad area (11 of 12 bytes), so it displaces the
+    // retry-after TLV; CRC-negotiated channels carry retry hints in
+    // rv_addr instead (the form NAK/DRAIN frames use anyway).
+    std::uint8_t* t = dst + kTlvOffset;
+    *t++ = 1;  // entry count
+    *t++ = kTlvCrc32c;
+    *t++ = 2 * sizeof(std::uint32_t);
+    std::memcpy(t, &hdr_crc, sizeof(std::uint32_t));
+    std::memcpy(t + sizeof(std::uint32_t), &payload_crc,
+                sizeof(std::uint32_t));
+  } else if (version >= 2 && retry_after_us != 0) {
     std::uint8_t* t = dst + kTlvOffset;
     *t++ = 1;  // entry count
     *t++ = kTlvRetryAfterUs;
@@ -68,6 +81,10 @@ HdrDecode WireHeader::decode_ex(const std::uint8_t* src, std::uint32_t len,
   get(p, out.budget_us);
   out.retry_after_us = 0;
   out.tlv_skipped = 0;
+  out.crc_present = false;
+  out.hdr_crc = 0;
+  out.payload_crc = 0;
+  out.crc_off = 0;
   if (out.version >= 2) {
     // TLV walk over the pad area. Entries too long for the area terminate
     // the walk (a v2 peer never emits them; a zeroed area parses as count
@@ -82,6 +99,12 @@ HdrDecode WireHeader::decode_ex(const std::uint8_t* src, std::uint32_t len,
       if (t + tlen > area_end) break;
       if (type == kTlvRetryAfterUs && tlen == sizeof(std::uint32_t)) {
         std::memcpy(&out.retry_after_us, t, sizeof(std::uint32_t));
+      } else if (type == kTlvCrc32c && tlen == 2 * sizeof(std::uint32_t)) {
+        out.crc_present = true;
+        std::memcpy(&out.hdr_crc, t, sizeof(std::uint32_t));
+        std::memcpy(&out.payload_crc, t + sizeof(std::uint32_t),
+                    sizeof(std::uint32_t));
+        out.crc_off = static_cast<std::uint8_t>(t - src);
       } else {
         ++out.tlv_skipped;
       }
@@ -95,6 +118,28 @@ HdrDecode WireHeader::decode_ex(const std::uint8_t* src, std::uint32_t len,
     get(p, out.trace_id);
   }
   return HdrDecode::ok;
+}
+
+void WireHeader::stamp_crc(std::uint8_t* dst) const {
+  const std::uint32_t crc = crc32c(dst, wire_size());
+  std::memcpy(dst + kCrcFieldOffset, &crc, sizeof(std::uint32_t));
+}
+
+bool WireHeader::verify_hdr_crc(const std::uint8_t* src, std::uint32_t len,
+                                const WireHeader& out) {
+  const std::uint32_t hdr_len = out.wire_size();
+  if (len < hdr_len || !out.crc_present) return false;
+  if (out.crc_off == 0 ||
+      out.crc_off + sizeof(std::uint32_t) > kBareSize) {
+    return false;
+  }
+  // Stack copy of the header bytes with the CRC field zeroed at the offset
+  // the TLV walk actually found it — robust to a peer emitting TLVs in a
+  // different order.
+  std::uint8_t copy[kBareSize + kTraceSize];
+  std::memcpy(copy, src, hdr_len);
+  std::memset(copy + out.crc_off, 0, sizeof(std::uint32_t));
+  return crc32c(copy, hdr_len) == out.hdr_crc;
 }
 
 }  // namespace xrdma::core

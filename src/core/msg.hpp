@@ -33,6 +33,9 @@ enum MsgFlags : std::uint16_t {
                            // retry-after hint in ns
   kFlagDrain = 1 << 8,     // sender is draining (windowless); rv_addr
                            // carries the retry-after hint in ns
+  kFlagIntegrityNak = 1 << 9,  // receiver dropped a frame on CRC mismatch
+                               // (windowless); rpc_id carries the seq whose
+                               // frame failed verification
 };
 
 /// CM-negotiated feature bits: each side advertises what it understands in
@@ -41,6 +44,7 @@ enum MsgFlags : std::uint16_t {
 enum ProtoFeatures : std::uint32_t {
   kFeatDrain = 1u << 0,   // understands DRAIN announcements (kFlagDrain)
   kFeatHdrTlv = 1u << 1,  // reads the wire-v2 header TLV area
+  kFeatE2eCrc = 1u << 2,  // stamps + verifies the CRC32C TLV (kTlvCrc32c)
 };
 
 /// Why decode() refused a buffer. Distinguishable so triage can name a
@@ -70,6 +74,23 @@ struct WireHeader {
   // the pad bytes at all, which is the same rule one version further back.
   static constexpr std::uint32_t kTlvOffset = 52;
   static constexpr std::uint8_t kTlvRetryAfterUs = 1;  // u32 payload
+  // End-to-end integrity TLV (kFeatE2eCrc): {u32 hdr_crc, u32 payload_crc}.
+  // hdr_crc is CRC32C over the whole wire header (wire_size() bytes) with
+  // these four hdr_crc bytes zeroed — verified on arrival for every frame,
+  // including rendezvous descriptors, so a corrupted rv_addr/payload_len can
+  // never drive a pull. payload_crc covers the message payload end to end
+  // (whole message, not per fragment); eager receivers verify it against the
+  // landed bytes, rendezvous receivers after the RDMA Read pull completes.
+  // payload_crc == 0 with payload_len != 0 means "payload not covered"
+  // (synthetic pattern buffers) — header integrity still applies.
+  // The CRC TLV consumes 11 of the 12 pad bytes, so it is mutually
+  // exclusive with the retry-after TLV; CRC-negotiated channels carry the
+  // retry hint in rv_addr (as NAK/DRAIN frames already do).
+  static constexpr std::uint8_t kTlvCrc32c = 2;  // u32 hdr_crc, u32 payload_crc
+  // Fixed frame offset of the hdr_crc bytes when this build emits the CRC
+  // TLV first (count, type, len precede it). Decoders use the offset found
+  // by the TLV walk instead (crc_off), staying robust to reordered TLVs.
+  static constexpr std::uint32_t kCrcFieldOffset = kTlvOffset + 3;
 
   std::uint16_t version = 1;
   std::uint16_t flags = 0;
@@ -92,9 +113,19 @@ struct WireHeader {
   // tlv_skipped counts unknown entries that were skipped by length.
   std::uint32_t retry_after_us = 0;
   std::uint16_t tlv_skipped = 0;
+  // Integrity TLV (kTlvCrc32c). On encode: crc_present emits the TLV with
+  // hdr_crc as written (senders leave 0 and patch via stamp_crc after
+  // encode) and payload_crc as the whole-message payload checksum. On
+  // decode: populated from the TLV; crc_off records where in the frame the
+  // hdr_crc bytes landed so verify_hdr_crc can zero exactly those.
+  bool crc_present = false;
+  std::uint32_t hdr_crc = 0;
+  std::uint32_t payload_crc = 0;
+  std::uint8_t crc_off = 0;
 
   bool is_data() const {
-    return (flags & (kFlagAckOnly | kFlagNop | kFlagNak | kFlagDrain)) == 0;
+    return (flags & (kFlagAckOnly | kFlagNop | kFlagNak | kFlagDrain |
+                     kFlagIntegrityNak)) == 0;
   }
   bool has(MsgFlags f) const { return (flags & f) != 0; }
 
@@ -113,6 +144,18 @@ struct WireHeader {
   /// decode() with a distinguishable reject reason.
   static HdrDecode decode_ex(const std::uint8_t* src, std::uint32_t len,
                              WireHeader& out);
+
+  /// Patches hdr_crc into an already-encoded frame: computes CRC32C over
+  /// the wire_size() header bytes (encode() left the hdr_crc field zero)
+  /// and writes it at kCrcFieldOffset. Call after encode() whenever
+  /// crc_present was set.
+  void stamp_crc(std::uint8_t* dst) const;
+
+  /// Recomputes the header CRC of a received frame (zeroing the 4 bytes at
+  /// out.crc_off) and compares against out.hdr_crc. `len` is the full frame
+  /// length; only wire_size() header bytes are covered.
+  static bool verify_hdr_crc(const std::uint8_t* src, std::uint32_t len,
+                             const WireHeader& out);
 };
 
 /// A received message as handed to the application.

@@ -60,6 +60,13 @@ struct ChannelStats {
   std::uint64_t doorbell_wrs = 0;       // WRs those doorbells carried
   std::uint64_t inline_sends = 0;       // eager sends carried in the WQE
   std::uint64_t eager_copies_avoided = 0;  // MemCache staging copies skipped
+  // End-to-end integrity plane (e2e_crc).
+  std::uint64_t crc_stamped_tx = 0;     // frames stamped with the CRC TLV
+  std::uint64_t crc_failures_rx = 0;    // frames dropped on CRC mismatch
+  std::uint64_t integrity_naks_tx = 0;  // integrity NAKs sent (receiver)
+  std::uint64_t integrity_naks_rx = 0;  // integrity NAKs received (sender)
+  std::uint64_t integrity_retransmits = 0;  // window entries re-sent on NAK
+  std::uint64_t integrity_exhausted = 0;    // retry budgets exhausted
 };
 
 /// Context-wide health-plane counters (aggregated across peers by the
@@ -80,6 +87,8 @@ struct HealthStats {
   std::uint64_t drain_suppressions = 0; // dead/suspect verdicts suppressed
   std::uint64_t drain_violations = 0;   // grades that broke the draining
                                         // contract (X-Check oracle 13)
+  // Integrity plane: peers graded degraded by the corruption-storm detector.
+  std::uint64_t crc_storms = 0;
 };
 
 struct ContextStats {

@@ -33,14 +33,16 @@ const char* state_name(core::Channel::State s) {
 std::string xr_stat(core::Context& ctx) {
   std::ostringstream os;
   os << strfmt("%-6s %-6s %-12s %10s %10s %12s %12s %8s %8s %6s %6s %5s "
-               "%5s %5s %5s %6s %5s %5s\n",
+               "%5s %5s %5s %6s %5s %5s %5s %5s\n",
                "peer", "qp", "state", "msgs_tx", "msgs_rx", "bytes_tx",
                "bytes_rx", "inflight", "queued", "acks", "nops", "ka",
-               "recov", "retx", "fallb", "wblock", "naks", "shed");
+               "recov", "retx", "fallb", "wblock", "naks", "shed", "crcf",
+               "inak");
   for (core::Channel* ch : ctx.channels()) {
     const auto& s = ch->stats();
     os << strfmt("%-6u %-6u %-12s %10llu %10llu %12llu %12llu %8zu %8zu "
-                 "%6llu %6llu %5llu %5llu %5llu %5llu %6llu %5llu %5llu\n",
+                 "%6llu %6llu %5llu %5llu %5llu %5llu %6llu %5llu %5llu "
+                 "%5llu %5llu\n",
                  ch->peer_node(), ch->qp_num(), state_name(ch->state()),
                  static_cast<unsigned long long>(s.msgs_tx),
                  static_cast<unsigned long long>(s.msgs_rx),
@@ -55,7 +57,10 @@ std::string xr_stat(core::Context& ctx) {
                  static_cast<unsigned long long>(s.fallback_switches),
                  static_cast<unsigned long long>(s.tx_would_block),
                  static_cast<unsigned long long>(s.naks_tx + s.naks_rx),
-                 static_cast<unsigned long long>(s.tx_shed));
+                 static_cast<unsigned long long>(s.tx_shed),
+                 static_cast<unsigned long long>(s.crc_failures_rx),
+                 static_cast<unsigned long long>(s.integrity_naks_tx +
+                                                 s.integrity_naks_rx));
   }
   return os.str();
 }
@@ -121,6 +126,25 @@ std::string xr_stat_summary(core::Context& ctx) {
                static_cast<unsigned long long>(hs.holddown_escalations),
                static_cast<unsigned long long>(hs.suspect_transitions),
                static_cast<unsigned long long>(hs.degraded_transitions));
+  core::ChannelStats ichan;
+  for (core::Channel* ch : ctx.channels()) {
+    const auto& s = ch->stats();
+    ichan.crc_stamped_tx += s.crc_stamped_tx;
+    ichan.crc_failures_rx += s.crc_failures_rx;
+    ichan.integrity_naks_tx += s.integrity_naks_tx;
+    ichan.integrity_naks_rx += s.integrity_naks_rx;
+    ichan.integrity_retransmits += s.integrity_retransmits;
+    ichan.integrity_exhausted += s.integrity_exhausted;
+  }
+  os << strfmt("  integrity: stamped=%llu crc_fail=%llu naks=%llu/%llu "
+               "retx=%llu exhausted=%llu storms=%llu\n",
+               static_cast<unsigned long long>(ichan.crc_stamped_tx),
+               static_cast<unsigned long long>(ichan.crc_failures_rx),
+               static_cast<unsigned long long>(ichan.integrity_naks_tx),
+               static_cast<unsigned long long>(ichan.integrity_naks_rx),
+               static_cast<unsigned long long>(ichan.integrity_retransmits),
+               static_cast<unsigned long long>(ichan.integrity_exhausted),
+               static_cast<unsigned long long>(hs.crc_storms));
   os << strfmt("  qp_cache: size=%zu hits=%llu misses=%llu\n",
                ctx.qp_cache().size(),
                static_cast<unsigned long long>(ctx.qp_cache().hits()),
@@ -171,7 +195,10 @@ std::string xr_stat_json(core::Context& ctx) {
                  "\"bytes_tx\":%llu,\"bytes_rx\":%llu,"
                  "\"inflight\":%zu,\"queued\":%zu,"
                  "\"recoveries\":%llu,\"fallback_switches\":%llu,"
-                 "\"tx_would_block\":%llu,\"naks\":%llu,\"tx_shed\":%llu}",
+                 "\"tx_would_block\":%llu,\"naks\":%llu,\"tx_shed\":%llu,"
+                 "\"crc_stamped\":%llu,\"crc_failures\":%llu,"
+                 "\"integrity_naks\":%llu,\"integrity_retransmits\":%llu,"
+                 "\"integrity_exhausted\":%llu}",
                  ch->peer_node(), ch->qp_num(), state_name(ch->state()),
                  static_cast<unsigned>(ch->proto_version()),
                  static_cast<unsigned>(ch->proto_features()),
@@ -186,7 +213,13 @@ std::string xr_stat_json(core::Context& ctx) {
                  static_cast<unsigned long long>(s.fallback_switches),
                  static_cast<unsigned long long>(s.tx_would_block),
                  static_cast<unsigned long long>(s.naks_tx + s.naks_rx),
-                 static_cast<unsigned long long>(s.tx_shed));
+                 static_cast<unsigned long long>(s.tx_shed),
+                 static_cast<unsigned long long>(s.crc_stamped_tx),
+                 static_cast<unsigned long long>(s.crc_failures_rx),
+                 static_cast<unsigned long long>(s.integrity_naks_tx +
+                                                 s.integrity_naks_rx),
+                 static_cast<unsigned long long>(s.integrity_retransmits),
+                 static_cast<unsigned long long>(s.integrity_exhausted));
     first = false;
   }
   os << strfmt("],\"lifecycle\":\"%s\",\"metrics\":{",

@@ -162,6 +162,31 @@ std::string describe_record(const analysis::Dump& dump, const Rec& rec) {
       return strfmt("%s memcache: reserve DENIED %llu-byte alloc",
                     rec.code ? "data" : "ctrl",
                     static_cast<unsigned long long>(rec.b));
+    case RecEvent::crc_fail_rx:
+      return strfmt("channel %u: CRC MISMATCH on rx seq %llu (%llu payload "
+                    "bytes) - frame dropped",
+                    rec.chan, static_cast<unsigned long long>(rec.a),
+                    static_cast<unsigned long long>(rec.b));
+    case RecEvent::integrity_nak_tx:
+      return strfmt("channel %u: integrity NAK sent, replay from seq %llu",
+                    rec.chan, static_cast<unsigned long long>(rec.a));
+    case RecEvent::integrity_nak_rx:
+      return strfmt("channel %u: integrity NAK received for seq %llu",
+                    rec.chan, static_cast<unsigned long long>(rec.a));
+    case RecEvent::integrity_retransmit:
+      return strfmt("channel %u: seq %llu re-sent on integrity NAK (retry "
+                    "%u)",
+                    rec.chan, static_cast<unsigned long long>(rec.a),
+                    rec.code);
+    case RecEvent::integrity_exhausted:
+      return strfmt("channel %u: integrity retry budget (%u) EXHAUSTED at "
+                    "seq %llu - surfacing integrity_error",
+                    rec.chan, rec.code,
+                    static_cast<unsigned long long>(rec.a));
+    case RecEvent::corruption_storm:
+      return strfmt("peer %u: CORRUPTION STORM - %llu CRC failures in one "
+                    "health scan, grading degraded",
+                    rec.chan, static_cast<unsigned long long>(rec.a));
     case RecEvent::trigger:
       return strfmt("** DUMP TRIGGER: %s **", trig_reason_name(rec.code));
     default:

@@ -136,9 +136,9 @@ TEST(MetricNaming, EveryContextMetricFollowsThePlaneDotNameConvention) {
   t.traffic();
   analysis::ContextMetrics metrics(t.client);
 
-  const std::set<std::string> planes = {"chan",     "ctx", "recovery",
-                                        "overload", "mem", "health",
-                                        "trace"};
+  const std::set<std::string> planes = {"chan",     "ctx",    "recovery",
+                                        "overload", "mem",    "health",
+                                        "trace",    "integrity"};
   // `<plane>.<name>` or `<plane>.peer.<node>.<name>`; names lowercase
   // [a-z0-9_] (documented in analysis/metrics.hpp).
   const std::regex flat(R"(^([a-z]+)\.[a-z][a-z0-9_]*$)");

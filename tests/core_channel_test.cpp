@@ -654,7 +654,10 @@ TEST(ChannelFrag, QpKillBetweenFragmentsStillDeliversExactlyOnce) {
   Buffer b = Buffer::make(len);
   fill_pattern(b, 19);
   t.client_ch->send_msg(std::move(b));
-  filter.kill_qp_after(t.server_ch->id(), micros(40));  // between frags
+  // The descriptor post pays the modeled CRC pass over 1 MB (~65 us)
+  // before it hits the wire, so aim the kill well after that, between
+  // fragments of the running pull.
+  filter.kill_qp_after(t.server_ch->id(), micros(150));
   t.run(millis(80));
 
   ASSERT_EQ(received.size(), 1u);

@@ -69,8 +69,10 @@ TEST(ProtoNegotiation, NewToNewNegotiatesCurrentMaxWithAllFeatures) {
   ASSERT_NE(t.server_ch, nullptr);
   EXPECT_EQ(t.client_ch->proto_version(), WireHeader::kVersionMax);
   EXPECT_EQ(t.server_ch->proto_version(), WireHeader::kVersionMax);
-  EXPECT_EQ(t.client_ch->proto_features(), kFeatDrain | kFeatHdrTlv);
-  EXPECT_EQ(t.server_ch->proto_features(), kFeatDrain | kFeatHdrTlv);
+  EXPECT_EQ(t.client_ch->proto_features(),
+            kFeatDrain | kFeatHdrTlv | kFeatE2eCrc);
+  EXPECT_EQ(t.server_ch->proto_features(),
+            kFeatDrain | kFeatHdrTlv | kFeatE2eCrc);
 }
 
 TEST(ProtoNegotiation, OldConnectorToNewAcceptorDowngradesToV1) {
